@@ -1,0 +1,272 @@
+package expertfind_test
+
+// One benchmark per table and figure of the paper's evaluation (§VI),
+// plus micro-benchmarks for the ablations DESIGN.md calls out: Algorithm
+// 1's early pruning vs FastBCore vs the naive projection, PG-Index
+// refinement vs the raw kNN graph vs brute force, TA vs full-scan expert
+// ranking, and near vs random negative sampling.
+//
+// The table/figure benchmarks regenerate the corresponding experiment
+// end-to-end at a reduced scale; cmd/benchtab prints the same rows in the
+// paper's layout at any scale. Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"expertfind/internal/core"
+	"expertfind/internal/dataset"
+	"expertfind/internal/experiments"
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/kpcore"
+	"expertfind/internal/pgindex"
+	"expertfind/internal/sampling"
+	"expertfind/internal/ta"
+)
+
+// benchScale keeps the end-to-end experiment benchmarks at a size where
+// one iteration takes seconds, not minutes.
+var benchScale = experiments.Scale{Papers: 150, Queries: 5, M: 30, N: 10, Dim: 16, Seed: 7}
+
+func BenchmarkTable2Effectiveness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable2(benchScale)
+	}
+}
+
+func BenchmarkTable3CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable3(benchScale)
+	}
+}
+
+func BenchmarkTable4MetaPaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable4(benchScale)
+	}
+}
+
+func BenchmarkTable5NegSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable5(benchScale)
+	}
+}
+
+func BenchmarkTable6PGIndexOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable6(experiments.Scale{Papers: 400, Dim: 16, Seed: 7})
+	}
+}
+
+func BenchmarkFig7Efficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig7(benchScale)
+	}
+}
+
+func BenchmarkFig8aSampleRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig8a(benchScale)
+	}
+}
+
+func BenchmarkFig8bCoreK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig8b(benchScale)
+	}
+}
+
+func BenchmarkFig8cTopM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig8c(benchScale)
+	}
+}
+
+func BenchmarkFig8dTopN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig8d(benchScale)
+	}
+}
+
+// --- Ablation micro-benchmarks -------------------------------------------
+
+// benchGraph caches one mid-size dataset for the per-operation benchmarks.
+var benchGraph = func() *dataset.Dataset {
+	return dataset.Generate(dataset.AminerSim(800))
+}()
+
+// BenchmarkCoreSearch compares the three (k,P)-core community searches of
+// §III-A per seed lookup: Algorithm 1 with early pruning, FastBCore, and
+// the naive full projection + decomposition.
+func BenchmarkCoreSearch(b *testing.B) {
+	g := benchGraph.Graph
+	papers := g.NodesOfType(hetgraph.Paper)
+	rng := rand.New(rand.NewSource(1))
+	seeds := make([]hetgraph.NodeID, 64)
+	for i := range seeds {
+		seeds[i] = papers[rng.Intn(len(papers))]
+	}
+	b.Run("Algorithm1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kpcore.Search(g, seeds[i%len(seeds)], 4, hetgraph.PAP)
+		}
+	})
+	b.Run("FastBCore", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kpcore.FastBCore(g, seeds[i%len(seeds)], 4, hetgraph.PAP)
+		}
+	})
+	b.Run("NaiveProjection", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kpcore.NaiveSearch(g, seeds[i%len(seeds)], 4, hetgraph.PAP)
+		}
+	})
+}
+
+// BenchmarkCoreSearchByK shows the cost growth in k (Figure 8(b)'s
+// training-cost axis is dominated by this search).
+func BenchmarkCoreSearchByK(b *testing.B) {
+	g := benchGraph.Graph
+	papers := g.NodesOfType(hetgraph.Paper)
+	for _, k := range []int{2, 4, 6, 8} {
+		b.Run(map[int]string{2: "k=2", 4: "k=4", 6: "k=6", 8: "k=8"}[k], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kpcore.Search(g, papers[i%len(papers)], k, hetgraph.PAP)
+			}
+		})
+	}
+}
+
+// benchEngine caches a built engine for the online-path benchmarks.
+var benchEngine = func() *core.Engine {
+	e, err := core.Build(benchGraph.Graph, core.Options{Dim: 32, Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	return e
+}()
+
+// BenchmarkRetrieval compares PG-Index search against the brute-force
+// scan (the Ours-1 vs Ours-3 gap of Figure 7).
+func BenchmarkRetrieval(b *testing.B) {
+	queries := benchGraph.Queries(32, rand.New(rand.NewSource(2)))
+	b.Run("PGIndex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := benchEngine.EncodeQuery(queries[i%len(queries)].Text)
+			benchEngine.Index().Search(q, 50, 0)
+		}
+	})
+	b.Run("BruteForce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := benchEngine.EncodeQuery(queries[i%len(queries)].Text)
+			pgindex.BruteForce(benchEngine.Embeddings, q, 50)
+		}
+	})
+}
+
+// BenchmarkExpertRanking compares TA against the full scan over the same
+// retrieved lists (the Ours-1 vs Ours-2 gap of Figure 7).
+func BenchmarkExpertRanking(b *testing.B) {
+	g := benchGraph.Graph
+	queries := benchGraph.Queries(16, rand.New(rand.NewSource(3)))
+	retrieved := make([][]hetgraph.NodeID, len(queries))
+	for i, q := range queries {
+		retrieved[i], _ = benchEngine.RetrievePapers(q.Text, 100)
+	}
+	b.Run("TA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ta.TopExperts(g, retrieved[i%len(retrieved)], 20)
+		}
+	})
+	b.Run("FullScan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ta.TopExpertsFullScan(g, retrieved[i%len(retrieved)], 20)
+		}
+	})
+}
+
+// BenchmarkPGIndexBuild measures index construction with and without the
+// Algorithm 2 refinement (Table VI's cost, and the refinement ablation).
+func BenchmarkPGIndexBuild(b *testing.B) {
+	embs := benchEngine.Embeddings
+	b.Run("Refined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pgindex.Build(embs, pgindex.Config{Refine: true, Seed: 7})
+		}
+	})
+	b.Run("RawKNN", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pgindex.Build(embs, pgindex.Config{Refine: false, Seed: 7})
+		}
+	})
+}
+
+// BenchmarkSampling compares the near and random negative strategies
+// (Table V's training-cost column starts here).
+func BenchmarkSampling(b *testing.B) {
+	g := benchGraph.Graph
+	for _, st := range []sampling.Strategy{sampling.NearNegative, sampling.RandomNegative} {
+		st := st
+		b.Run(st.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				sampling.Generate(g, sampling.Config{Strategy: st, Fraction: 0.1,
+					MaxPositivesPerSeed: 32}, rng)
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndQuery measures the full online path (encode, retrieve,
+// rank) — the per-query latency of Figure 7's Ours-1.
+func BenchmarkEndToEndQuery(b *testing.B) {
+	queries := benchGraph.Queries(32, rand.New(rand.NewSource(4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchEngine.TopExperts(queries[i%len(queries)].Text, 100, 20)
+	}
+}
+
+// BenchmarkOfflineBuild measures the full offline pipeline at a small
+// scale (the cost Figure 8(a)/(b) trade against quality).
+func BenchmarkOfflineBuild(b *testing.B) {
+	ds := dataset.Generate(dataset.AminerSim(200))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(ds.Graph, core.Options{Dim: 16, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Statistics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunTable1(benchScale)
+	}
+}
+
+func BenchmarkFig5SearchWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.RunFig5(benchScale)
+	}
+}
+
+// BenchmarkSamplingCoreIndex compares per-seed community search against
+// the amortised core-index fast path over the whole sampling stage.
+func BenchmarkSamplingCoreIndex(b *testing.B) {
+	g := benchGraph.Graph
+	for _, fast := range []bool{false, true} {
+		name := "PerSeedSearch"
+		if fast {
+			name = "CoreIndex"
+		}
+		cfg := sampling.Config{Fraction: 0.3, MaxPositivesPerSeed: 32, UseCoreIndex: fast}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sampling.Generate(g, cfg, rand.New(rand.NewSource(1)))
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+// Command benchtab regenerates the paper's tables and figures on the
+// synthetic datasets and prints them in the paper's layout.
+//
+// Usage:
+//
+//	benchtab -exp table2 [-papers 1500] [-queries 50] [-m 150] [-n 20] [-dim 64] [-seed 7]
+//	benchtab -exp all
+//
+// Experiments: table2, table3, table4, table5, table6, fig7, fig8a,
+// fig8b, fig8c, fig8d, coresearch, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"expertfind/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (table1..table6, fig5, fig7, fig8a..fig8d, coresearch, sig, all)")
+		papers  = flag.Int("papers", experiments.Default.Papers, "papers per dataset")
+		queries = flag.Int("queries", experiments.Default.Queries, "evaluation queries per dataset")
+		m       = flag.Int("m", experiments.Default.M, "top-m papers retrieved")
+		n       = flag.Int("n", experiments.Default.N, "top-n experts returned")
+		dim     = flag.Int("dim", experiments.Default.Dim, "embedding dimension")
+		seed    = flag.Int64("seed", experiments.Default.Seed, "random seed")
+	)
+	flag.Parse()
+
+	sc := experiments.Scale{
+		Papers: *papers, Queries: *queries, M: *m, N: *n, Dim: *dim, Seed: *seed,
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table1", "table2", "table3", "table4", "table5", "table6",
+			"fig5", "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "coresearch", "sig"}
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		out, err := run(strings.TrimSpace(id), sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %s]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func run(id string, sc experiments.Scale) (string, error) {
+	switch id {
+	case "table1":
+		return experiments.FormatTable1(experiments.RunTable1(sc)), nil
+	case "fig5":
+		return experiments.FormatFig5(experiments.RunFig5(sc)), nil
+	case "sig":
+		return experiments.FormatSignificance(experiments.RunSignificance(sc)), nil
+	case "table2":
+		return experiments.FormatTable2(experiments.RunTable2(sc)), nil
+	case "table3":
+		return experiments.FormatTable3(experiments.RunTable3(sc)), nil
+	case "table4":
+		var b strings.Builder
+		for _, r := range experiments.RunTable4(sc) {
+			b.WriteString(experiments.FormatEffectivenessTable(
+				"TABLE IV — effect of meta-paths, dataset "+r.Dataset, r.Rows, false))
+			b.WriteByte('\n')
+		}
+		return b.String(), nil
+	case "table5":
+		return experiments.FormatTable5(experiments.RunTable5(sc)), nil
+	case "table6":
+		return experiments.FormatTable6(experiments.RunTable6(sc)), nil
+	case "fig7":
+		return experiments.FormatFig7(experiments.RunFig7(sc)), nil
+	case "fig8a":
+		return experiments.FormatSensitivity("FIGURE 8(a) — sample ratio f (Aminer-sim)",
+			"train-time", experiments.RunFig8a(sc)), nil
+	case "fig8b":
+		return experiments.FormatSensitivity("FIGURE 8(b) — core size k (Aminer-sim)",
+			"train-time", experiments.RunFig8b(sc)), nil
+	case "fig8c":
+		return experiments.FormatSensitivity("FIGURE 8(c) — top-m papers (Aminer-sim)",
+			"query-time", experiments.RunFig8c(sc)), nil
+	case "fig8d":
+		return experiments.FormatSensitivity("FIGURE 8(d) — top-n experts (Aminer-sim)",
+			"query-time", experiments.RunFig8d(sc)), nil
+	case "coresearch":
+		rows := experiments.RunCoreSearchComparison(sc, 4, 20)
+		var b strings.Builder
+		b.WriteString("ABLATION — (k,P)-core community search algorithms (k=4, P-A-P)\n")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-28s avg %-12s avg core size %.1f\n",
+				r.Algorithm, r.AvgTime.Round(time.Microsecond), r.AvgCore)
+		}
+		return b.String(), nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", id)
+	}
+}

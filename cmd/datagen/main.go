@@ -1,0 +1,84 @@
+// Command datagen generates a synthetic heterogeneous academic network
+// (the Aminer/DBLP/ACM stand-ins of DESIGN.md) and writes it as JSON for
+// use with cmd/expertfind or external tooling.
+//
+// Usage:
+//
+//	datagen -preset aminer -papers 2000 -out aminer.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"expertfind/internal/dataset"
+)
+
+func main() {
+	var (
+		preset  = flag.String("preset", "aminer", "dataset preset: aminer, dblp, or acm")
+		papers  = flag.Int("papers", 0, "number of papers (0 for the preset default)")
+		seed    = flag.Int64("seed", 0, "override the preset's random seed (0 keeps it)")
+		out     = flag.String("out", "", "output file (default stdout)")
+		queries = flag.Int("queries", 0, "also write this many evaluation queries to <out>.queries.json")
+		qseed   = flag.Int64("qseed", 1, "random seed for query sampling")
+	)
+	flag.Parse()
+
+	var cfg dataset.Config
+	switch *preset {
+	case "aminer":
+		cfg = dataset.AminerSim(*papers)
+	case "dblp":
+		cfg = dataset.DBLPSim(*papers)
+	case "acm":
+		cfg = dataset.ACMSim(*papers)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown preset %q\n", *preset)
+		os.Exit(1)
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	ds := dataset.Generate(cfg)
+	st := ds.Graph.Stats()
+	fmt.Fprintf(os.Stderr, "generated %s: %d papers, %d experts, %d venues, %d topics, %d relations\n",
+		cfg.Name, st.Papers, st.Experts, st.Venues, st.Topics, st.Relations)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.Graph.WriteJSON(w); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+
+	if *queries > 0 {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "datagen: -queries requires -out")
+			os.Exit(1)
+		}
+		qf, err := os.Create(*out + ".queries.json")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer qf.Close()
+		qs := ds.Queries(*queries, rand.New(rand.NewSource(*qseed)))
+		if err := dataset.WriteQueriesJSON(qf, qs); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d queries to %s.queries.json\n", len(qs), *out)
+	}
+}

@@ -1,0 +1,87 @@
+// Command expertserve builds (or loads) an expert-finding engine and
+// serves top-n expert queries over HTTP, separating the paper's offline
+// stage from a long-lived online stage.
+//
+// Endpoints:
+//
+//	GET /experts?q=<text>&n=<count>&m=<papers>  -> JSON expert ranking
+//	GET /papers?q=<text>&m=<count>              -> JSON paper retrieval
+//	GET /healthz                                -> build statistics
+//
+// Usage:
+//
+//	expertserve -dataset aminer -papers 1000 -addr :8080
+//	expertserve -graph g.json -engine engine.bin -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"expertfind/internal/cli"
+	"expertfind/internal/core"
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/serve"
+)
+
+func main() {
+	var (
+		graphFile  = flag.String("graph", "", "JSON graph file (from datagen)")
+		engineFile = flag.String("engine", "", "saved engine file (from a previous -save)")
+		saveFile   = flag.String("save", "", "save the built engine to this file and continue serving")
+		preset     = flag.String("dataset", "aminer", "built-in preset when -graph is not given")
+		papers     = flag.Int("papers", 1000, "preset size in papers")
+		dim        = flag.Int("dim", 64, "embedding dimension")
+		seed       = flag.Int64("seed", 7, "random seed")
+		addr       = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	g, err := cli.LoadGraph(*graphFile, *preset, *papers)
+	if err != nil {
+		fail(err)
+	}
+
+	var engine *core.Engine
+	if *engineFile != "" {
+		f, err := os.Open(*engineFile)
+		if err != nil {
+			fail(err)
+		}
+		engine, err = core.Load(f, g)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded engine from %s\n", *engineFile)
+	} else {
+		fmt.Fprintf(os.Stderr, "building engine over %d papers...\n", g.NumNodesOfType(hetgraph.Paper))
+		engine, err = core.Build(g, core.Options{Dim: *dim, Seed: *seed})
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			fail(err)
+		}
+		if err := engine.Save(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "saved engine to %s\n", *saveFile)
+	}
+
+	srv := serve.New(engine)
+	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "expertserve:", err)
+	os.Exit(1)
+}

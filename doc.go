@@ -1,0 +1,22 @@
+// Package expertfind is a from-scratch Go reproduction of "Academic
+// Expert Finding via (k,P)-Core based Embedding over Heterogeneous
+// Graphs" (ICDE 2022).
+//
+// The implementation lives under internal/: the heterogeneous academic
+// graph and meta-path machinery (internal/hetgraph), the (k,P)-core
+// community search of Algorithm 1 with its FastBCore and naive baselines
+// (internal/kpcore), the simulated pre-trained document encoder
+// (internal/textenc), sampling-based training-data generation
+// (internal/sampling), triplet-loss fine-tuning with Adam
+// (internal/train), the PG-Index proximity graph (internal/pgindex), the
+// threshold-algorithm expert ranking (internal/ta), the synthetic
+// Aminer/DBLP/ACM stand-ins (internal/dataset), seven comparison baselines
+// (internal/baselines), the assembled engine (internal/core), and the
+// experiment harness regenerating every table and figure of the paper's
+// evaluation (internal/experiments).
+//
+// Binaries: cmd/expertfind (query CLI), cmd/datagen (dataset generator),
+// cmd/benchtab (experiment runner). Runnable examples are under examples/.
+// The benchmarks in bench_test.go exercise one workload per paper table
+// and figure plus the ablations called out in DESIGN.md.
+package expertfind

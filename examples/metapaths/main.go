@@ -1,0 +1,66 @@
+// Meta-path comparison: the §V optimisation in action. Build the engine
+// under three meta-path configurations — co-authorship alone (P-A-P),
+// same-topic alone (P-T-P), and their intersection (the paper's best) —
+// and compare retrieval quality for interdisciplinary authors, the very
+// failure mode §V describes: one author publishing in several areas makes
+// P-A-P-only communities topically impure.
+//
+//	go run ./examples/metapaths
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"expertfind/internal/core"
+	"expertfind/internal/dataset"
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/metrics"
+)
+
+func main() {
+	ds := dataset.Generate(dataset.AminerSim(800))
+	g := ds.Graph
+
+	configs := []struct {
+		name  string
+		paths []hetgraph.MetaPath
+	}{
+		{"P-A-P (co-authorship only)", []hetgraph.MetaPath{hetgraph.PAP}},
+		{"P-T-P (same topic only)", []hetgraph.MetaPath{hetgraph.PTP}},
+		{"P-A-P ∩ P-T-P (paper's best)", []hetgraph.MetaPath{hetgraph.PAP, hetgraph.PTP}},
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	queries := ds.Queries(20, rng)
+
+	fmt.Println("effect of the meta-path choice on expert-finding quality")
+	fmt.Printf("%-30s %8s %8s\n", "configuration", "MAP", "P@10")
+	for _, cfg := range configs {
+		engine, err := core.Build(g, core.Options{
+			Dim:       48,
+			Seed:      3,
+			MetaPaths: cfg.paths,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var aps []float64
+		var p10 float64
+		for _, q := range queries {
+			ranked, _ := engine.TopExperts(q.Text, 200, 20)
+			ids := make([]hetgraph.NodeID, len(ranked))
+			for i, r := range ranked {
+				ids[i] = r.Expert
+			}
+			aps = append(aps, metrics.AveragePrecision(ids, q.Truth))
+			p10 += metrics.PrecisionAtN(ids, q.Truth, 10)
+		}
+		fmt.Printf("%-30s %8.3f %8.3f\n", cfg.name, metrics.MAP(aps), p10/float64(len(queries)))
+	}
+
+	fmt.Println("\nwhy: interdisciplinary research groups publish across two topics;")
+	fmt.Println("P-A-P cores mix both, while intersecting with P-T-P keeps training")
+	fmt.Println("communities topically pure (§V of the paper).")
+}

@@ -1,0 +1,79 @@
+// Package baselines implements the seven text-based expert-finding
+// comparison methods of §VI-A as faithful algorithmic skeletons (see
+// DESIGN.md): three that use only the papers' textual semantics (TFIDF,
+// Avg.GloVe-sim, SBERT-sim) and four that embed the homogeneous
+// paper-paper graph together with text (TADW-sim, GVNR-t-sim, G2G-sim,
+// IDNE-sim). Every baseline retrieves ranked papers with an exhaustive
+// scan and ranks all candidate experts — the cost profile the paper's
+// PG-Index + TA pipeline is measured against.
+package baselines
+
+import (
+	"sort"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/vec"
+)
+
+// Method is a text-based expert-finding baseline. Build runs the offline
+// stage over the graph (the corpus is every paper's label); QueryPapers
+// returns the m papers most similar to the query text, rank 1 first.
+type Method interface {
+	Name() string
+	Build(g *hetgraph.Graph) error
+	QueryPapers(text string, m int) []hetgraph.NodeID
+}
+
+// All returns one instance of every baseline with its default
+// configuration, in the order of Table II. dim is the embedding dimension
+// used by the dense methods; seed drives their deterministic
+// initialisation.
+func All(dim int, seed int64) []Method {
+	return []Method{
+		NewTADW(dim, seed),
+		NewGVNRT(dim, seed),
+		NewG2G(dim, seed),
+		NewIDNE(dim, seed),
+		NewTFIDF(),
+		NewAvgGloVe(dim, seed),
+		NewSBERT(dim, seed),
+	}
+}
+
+// rankByDistance scores every embedded paper against the query vector by
+// L2 distance and returns the m closest, rank 1 first — the exhaustive
+// retrieval shared by all dense baselines.
+func rankByDistance(embs map[hetgraph.NodeID]vec.Vector, q vec.Vector, m int) []hetgraph.NodeID {
+	type pd struct {
+		p hetgraph.NodeID
+		d float64
+	}
+	all := make([]pd, 0, len(embs))
+	for p, e := range embs {
+		all = append(all, pd{p, q.L2Sq(e)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].p < all[j].p
+	})
+	if len(all) > m {
+		all = all[:m]
+	}
+	out := make([]hetgraph.NodeID, len(all))
+	for i, x := range all {
+		out[i] = x.p
+	}
+	return out
+}
+
+// corpusOf collects every paper's label, in paper order.
+func corpusOf(g *hetgraph.Graph) []string {
+	papers := g.NodesOfType(hetgraph.Paper)
+	out := make([]string, len(papers))
+	for i, p := range papers {
+		out[i] = g.Label(p)
+	}
+	return out
+}

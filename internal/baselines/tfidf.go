@@ -1,0 +1,122 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/textenc"
+)
+
+// TFIDF is the bag-of-words baseline [47]: papers and queries are sparse
+// TF-IDF vectors and retrieval ranks papers by cosine similarity through an
+// inverted index. It captures lexical overlap only.
+type TFIDF struct {
+	g *hetgraph.Graph
+	// postings maps a term to the papers containing it with their
+	// normalised tf-idf weights.
+	postings map[string][]posting
+	// norm holds each paper's vector norm for cosine normalisation.
+	norm map[hetgraph.NodeID]float64
+	// df holds document frequencies; n is the corpus size.
+	df map[string]int
+	n  int
+}
+
+type posting struct {
+	paper  hetgraph.NodeID
+	weight float64
+}
+
+// NewTFIDF returns an unbuilt TFIDF baseline.
+func NewTFIDF() *TFIDF { return &TFIDF{} }
+
+// Name implements Method.
+func (t *TFIDF) Name() string { return "TFIDF" }
+
+// Build indexes every paper of g.
+func (t *TFIDF) Build(g *hetgraph.Graph) error {
+	t.g = g
+	papers := g.NodesOfType(hetgraph.Paper)
+	t.n = len(papers)
+	t.df = map[string]int{}
+	counts := make([]map[string]int, len(papers))
+	for i, p := range papers {
+		tf := map[string]int{}
+		for _, w := range textenc.SplitWords(g.Label(p)) {
+			tf[w]++
+		}
+		counts[i] = tf
+		for w := range tf {
+			t.df[w]++
+		}
+	}
+	t.postings = map[string][]posting{}
+	t.norm = make(map[hetgraph.NodeID]float64, len(papers))
+	for i, p := range papers {
+		var sq float64
+		for w, c := range counts[i] {
+			wt := t.weight(w, c)
+			sq += wt * wt
+			t.postings[w] = append(t.postings[w], posting{paper: p, weight: wt})
+		}
+		t.norm[p] = math.Sqrt(sq)
+	}
+	return nil
+}
+
+// weight is the classic ltc weighting: (1+log tf) · idf.
+func (t *TFIDF) weight(term string, tf int) float64 {
+	df := t.df[term]
+	if df == 0 || tf == 0 {
+		return 0
+	}
+	return (1 + math.Log(float64(tf))) * math.Log(float64(t.n)/float64(df))
+}
+
+// QueryPapers returns the m papers with the highest cosine similarity to
+// the query text.
+func (t *TFIDF) QueryPapers(text string, m int) []hetgraph.NodeID {
+	qtf := map[string]int{}
+	for _, w := range textenc.SplitWords(text) {
+		qtf[w]++
+	}
+	scores := map[hetgraph.NodeID]float64{}
+	var qsq float64
+	for w, c := range qtf {
+		qw := t.weight(w, c)
+		if qw == 0 {
+			continue
+		}
+		qsq += qw * qw
+		for _, po := range t.postings[w] {
+			scores[po.paper] += qw * po.weight
+		}
+	}
+	qn := math.Sqrt(qsq)
+	type ps struct {
+		p hetgraph.NodeID
+		s float64
+	}
+	all := make([]ps, 0, len(scores))
+	for p, s := range scores {
+		d := t.norm[p] * qn
+		if d > 0 {
+			all = append(all, ps{p, s / d})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].s != all[j].s {
+			return all[i].s > all[j].s
+		}
+		return all[i].p < all[j].p
+	})
+	if len(all) > m {
+		all = all[:m]
+	}
+	out := make([]hetgraph.NodeID, len(all))
+	for i, x := range all {
+		out[i] = x.p
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+// Package cli holds the small pieces shared by the command-line tools:
+// graph loading from a JSON file or a named synthetic preset.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"expertfind/internal/dataset"
+	"expertfind/internal/hetgraph"
+)
+
+// LoadGraph returns the heterogeneous graph from a file (when file is
+// non-empty) or from a synthetic preset ("aminer", "dblp", "acm") at the
+// given paper count (0 for the preset default). Files ending in .txt are
+// parsed as the real Aminer citation-network format; everything else as
+// the JSON written by datagen.
+func LoadGraph(file, preset string, papers int) (*hetgraph.Graph, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(file, ".txt") {
+			g, _, err := hetgraph.ReadAminer(f)
+			return g, err
+		}
+		return hetgraph.ReadJSON(f)
+	}
+	cfg, err := PresetConfig(preset, papers)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.Generate(cfg).Graph, nil
+}
+
+// PresetConfig maps a preset name to its dataset configuration.
+func PresetConfig(preset string, papers int) (dataset.Config, error) {
+	switch preset {
+	case "aminer":
+		return dataset.AminerSim(papers), nil
+	case "dblp":
+		return dataset.DBLPSim(papers), nil
+	case "acm":
+		return dataset.ACMSim(papers), nil
+	default:
+		return dataset.Config{}, fmt.Errorf("unknown preset %q (want aminer, dblp, or acm)", preset)
+	}
+}

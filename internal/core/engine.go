@@ -1,0 +1,271 @@
+// Package core assembles the paper's complete system: the offline
+// (k,P)-core based document-embedding pipeline (§III) and the online
+// PG-Index + threshold-algorithm top-n expert finding (§IV), behind one
+// build/query API. Every stage can be ablated through Options, which is
+// how the experiment harness produces the paper's Ours-1..Ours-4 variants
+// and the "w/o (k,P)-core" row of Table IV.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/pgindex"
+	"expertfind/internal/sampling"
+	"expertfind/internal/ta"
+	"expertfind/internal/textenc"
+	"expertfind/internal/train"
+	"expertfind/internal/vec"
+)
+
+// Options configures an Engine build. Zero values select the paper's
+// defaults (§VI-A): k=4, P-A-P ∩ P-T-P, f=0.3, near-negative 1:3, mean
+// pooling, margin 1, 4 epochs.
+type Options struct {
+	// K is the (k,P)-core cohesiveness threshold.
+	K int
+	// MetaPaths are the relationships used simultaneously (§V).
+	MetaPaths []hetgraph.MetaPath
+	// SampleFraction is the seed ratio f of §III-B.
+	SampleFraction float64
+	// NegStrategy and NegPerPos configure negative collection.
+	NegStrategy sampling.Strategy
+	NegPerPos   int
+	// MaxPositivesPerSeed bounds positives drawn from one community
+	// (default 64; 0 keeps the default, -1 removes the bound). Topic-wide
+	// P-T-P communities would otherwise dominate the training set.
+	MaxPositivesPerSeed int
+	// FastSampling answers community queries from precomputed core
+	// decompositions (kpcore.CoreIndex) instead of per-seed searches.
+	FastSampling bool
+	// Dim is the embedding dimensionality d.
+	Dim int
+	// Pooling selects Φ_P (mean by default).
+	Pooling textenc.Pooling
+	// Train carries the optimiser hyper-parameters.
+	Train train.Config
+	// Index configures PG-Index construction.
+	Index pgindex.Config
+	// EF is the search-pool size for PG-Index retrieval (0: 2m).
+	EF int
+	// UseKPCore gates the structural fine-tuning; false freezes the
+	// pre-trained encoder (the "w/o (k,P)-core" ablation).
+	UseKPCore *bool
+	// UsePGIndex gates approximate retrieval; false scans all embeddings
+	// (Ours-3/Ours-4).
+	UsePGIndex *bool
+	// UseTA gates the threshold algorithm; false ranks every candidate
+	// expert (Ours-2/Ours-4).
+	UseTA *bool
+	// Seed drives sampling, shuffling and index construction.
+	Seed int64
+	// VocabConfig tunes vocabulary induction.
+	Vocab textenc.VocabConfig
+}
+
+func boolOpt(p *bool, def bool) bool {
+	if p == nil {
+		return def
+	}
+	return *p
+}
+
+// Bool is a convenience for setting the Use* option pointers.
+func Bool(b bool) *bool { return &b }
+
+func (o Options) withDefaults() Options {
+	if o.K == 0 {
+		o.K = 4
+	}
+	if len(o.MetaPaths) == 0 {
+		o.MetaPaths = []hetgraph.MetaPath{hetgraph.PAP, hetgraph.PTP}
+	}
+	if o.SampleFraction <= 0 {
+		o.SampleFraction = 0.3
+	}
+	if o.NegPerPos <= 0 {
+		o.NegPerPos = 3
+	}
+	if o.MaxPositivesPerSeed == 0 {
+		o.MaxPositivesPerSeed = 64
+	}
+	if o.MaxPositivesPerSeed < 0 {
+		o.MaxPositivesPerSeed = 0 // sampling.Config: 0 means unbounded
+	}
+	if o.Dim <= 0 {
+		o.Dim = 64
+	}
+	if o.Index == (pgindex.Config{}) {
+		o.Index = pgindex.DefaultConfig()
+		o.Index.Seed = o.Seed
+	}
+	return o
+}
+
+// BuildStats reports the offline pipeline's work, phase by phase.
+type BuildStats struct {
+	VocabSize     int
+	Sampling      *sampling.Report
+	Training      *train.Result
+	CommunityTime time.Duration // (k,P)-core search + sampling
+	TrainTime     time.Duration
+	EmbedTime     time.Duration
+	IndexTime     time.Duration
+	IndexEdges    int
+	IndexMemory   int64
+	TotalTime     time.Duration
+}
+
+// Engine is a built expert-finding system: fine-tuned embeddings E, the
+// PG-Index over them, and the TA ranker.
+type Engine struct {
+	g     *hetgraph.Graph
+	opts  Options
+	enc   *textenc.Encoder
+	cache train.TokenCache
+	// Embeddings is E, the representation of every paper.
+	Embeddings map[hetgraph.NodeID]vec.Vector
+	index      *pgindex.Index
+	stats      BuildStats
+}
+
+// Build runs the offline pipeline over g: vocabulary induction,
+// pre-trained encoding, (k,P)-core community sampling, triplet fine-tuning,
+// embedding of all papers, and PG-Index construction.
+func Build(g *hetgraph.Graph, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if g.NumNodesOfType(hetgraph.Paper) == 0 {
+		return nil, fmt.Errorf("core: graph has no papers")
+	}
+	start := time.Now()
+	e := &Engine{g: g, opts: opts}
+
+	// Vocabulary + pre-trained encoder.
+	corpus := make([]string, 0, g.NumNodesOfType(hetgraph.Paper))
+	for _, p := range g.NodesOfType(hetgraph.Paper) {
+		corpus = append(corpus, g.Label(p))
+	}
+	vocab := textenc.BuildVocab(corpus, opts.Vocab)
+	e.enc = textenc.NewEncoder(vocab, opts.Dim, opts.Seed)
+	textenc.PretrainDistributional(e.enc, corpus)
+	e.enc.Pooling = opts.Pooling
+	e.cache = train.BuildTokenCache(g, e.enc)
+	e.stats.VocabSize = vocab.Size()
+
+	// Offline stage 1: (k,P)-core communities and training triples.
+	if boolOpt(opts.UseKPCore, true) {
+		t0 := time.Now()
+		rng := rand.New(rand.NewSource(opts.Seed))
+		triples, rep := sampling.Generate(g, sampling.Config{
+			Fraction:            opts.SampleFraction,
+			K:                   opts.K,
+			MetaPaths:           opts.MetaPaths,
+			Strategy:            opts.NegStrategy,
+			NegPerPos:           opts.NegPerPos,
+			MaxPositivesPerSeed: opts.MaxPositivesPerSeed,
+			UseCoreIndex:        opts.FastSampling,
+		}, rng)
+		e.stats.Sampling = rep
+		e.stats.CommunityTime = time.Since(t0)
+
+		// Offline stage 2: triplet-loss fine-tuning (Eq. 3).
+		t0 = time.Now()
+		e.stats.Training = train.FineTune(e.enc, e.cache, triples, opts.Train,
+			rand.New(rand.NewSource(opts.Seed+1)))
+		e.stats.TrainTime = time.Since(t0)
+	}
+
+	// Offline stage 3: embed all papers, build the PG-Index.
+	t0 := time.Now()
+	e.Embeddings = train.EmbedAll(e.enc, e.cache)
+	e.stats.EmbedTime = time.Since(t0)
+
+	if boolOpt(opts.UsePGIndex, true) {
+		t0 = time.Now()
+		e.index = pgindex.Build(e.Embeddings, opts.Index)
+		e.stats.IndexTime = time.Since(t0)
+		e.stats.IndexEdges = e.index.NumEdges()
+		e.stats.IndexMemory = e.index.MemoryBytes()
+	}
+	e.stats.TotalTime = time.Since(start)
+	return e, nil
+}
+
+// Stats returns the build statistics.
+func (e *Engine) Stats() BuildStats { return e.stats }
+
+// Graph returns the underlying heterogeneous graph.
+func (e *Engine) Graph() *hetgraph.Graph { return e.g }
+
+// Encoder returns the (fine-tuned) document encoder.
+func (e *Engine) Encoder() *textenc.Encoder { return e.enc }
+
+// Index returns the PG-Index, or nil when disabled.
+func (e *Engine) Index() *pgindex.Index { return e.index }
+
+// QueryStats reports the online work of one query.
+type QueryStats struct {
+	EncodeTime   time.Duration
+	RetrieveTime time.Duration
+	RankTime     time.Duration
+	Search       pgindex.SearchStats
+	TA           ta.Stats
+	UsedPGIndex  bool
+	UsedTA       bool
+}
+
+// Total returns the end-to-end response time of the query.
+func (s QueryStats) Total() time.Duration { return s.EncodeTime + s.RetrieveTime + s.RankTime }
+
+// RetrievePapers returns the top-m papers semantically similar to the
+// query text (§IV-B), via the PG-Index or, when disabled, a brute-force
+// scan.
+func (e *Engine) RetrievePapers(query string, m int) ([]hetgraph.NodeID, QueryStats) {
+	var st QueryStats
+	t0 := time.Now()
+	qv := e.enc.Encode(query)
+	st.EncodeTime = time.Since(t0)
+
+	t0 = time.Now()
+	var ids []hetgraph.NodeID
+	if e.index != nil {
+		st.UsedPGIndex = true
+		var res []pgindex.Result
+		res, st.Search = e.index.Search(qv, m, e.opts.EF)
+		ids = make([]hetgraph.NodeID, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+	} else {
+		res := pgindex.BruteForce(e.Embeddings, qv, m)
+		ids = make([]hetgraph.NodeID, len(res))
+		for i, r := range res {
+			ids[i] = r.ID
+		}
+	}
+	st.RetrieveTime = time.Since(t0)
+	return ids, st
+}
+
+// TopExperts answers a query (§IV-C): retrieve the top-m papers, extract
+// candidate experts, and return the top-n by ranking score — through the
+// threshold algorithm by default, or a full scan when disabled.
+func (e *Engine) TopExperts(query string, m, n int) ([]ta.Ranking, QueryStats) {
+	papers, st := e.RetrievePapers(query, m)
+	t0 := time.Now()
+	var experts []ta.Ranking
+	if boolOpt(e.opts.UseTA, true) {
+		st.UsedTA = true
+		experts, st.TA = ta.TopExperts(e.g, papers, n)
+	} else {
+		experts = ta.TopExpertsFullScan(e.g, papers, n)
+	}
+	st.RankTime = time.Since(t0)
+	return experts, st
+}
+
+// EncodeQuery exposes the query representation v_T, which the experiment
+// harness reuses for the ADS metric.
+func (e *Engine) EncodeQuery(query string) vec.Vector { return e.enc.Encode(query) }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/pgindex"
+	"expertfind/internal/sampling"
+	"expertfind/internal/textenc"
+	"expertfind/internal/train"
+	"expertfind/internal/vec"
+)
+
+// The offline pipeline (§III) runs once; the online stage (§IV) serves
+// queries. Save and Load split the two across process lifetimes: Save
+// writes the fine-tuned parameters Θ_B and configuration after a build,
+// and Load restores a query-ready engine against the same graph,
+// re-deriving the embeddings E and the PG-Index deterministically from
+// Θ_B (cheap next to training, and far smaller on disk).
+
+// enginePersist is the gob-encoded on-disk form of an engine.
+type enginePersist struct {
+	// Options echoes the build configuration (function-typed and pointer
+	// fields excluded).
+	K                   int
+	MetaPaths           []string
+	SampleFraction      float64
+	NegStrategy         uint8
+	NegPerPos           int
+	MaxPositivesPerSeed int
+	Dim                 int
+	Pooling             uint8
+	EF                  int
+	Seed                int64
+	UsePGIndex          bool
+	UseTA               bool
+	IndexConfig         pgindex.Config
+
+	// Tokens is the vocabulary in id order; EmbData the fine-tuned table.
+	Tokens  []string
+	EmbData []float64
+	// DocFreqs and NumDocs restore the IDF weights.
+	DocFreqs []int
+	NumDocs  int
+}
+
+// Save serialises the engine's fine-tuned encoder and configuration.
+func (e *Engine) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := e.enc
+	vocab := enc.Vocab()
+	p := enginePersist{
+		K:                   e.opts.K,
+		SampleFraction:      e.opts.SampleFraction,
+		NegStrategy:         uint8(e.opts.NegStrategy),
+		NegPerPos:           e.opts.NegPerPos,
+		MaxPositivesPerSeed: e.opts.MaxPositivesPerSeed,
+		Dim:                 e.opts.Dim,
+		Pooling:             uint8(e.opts.Pooling),
+		EF:                  e.opts.EF,
+		Seed:                e.opts.Seed,
+		UsePGIndex:          boolOpt(e.opts.UsePGIndex, true),
+		UseTA:               boolOpt(e.opts.UseTA, true),
+		IndexConfig:         e.opts.Index,
+		EmbData:             enc.Emb.Data,
+		NumDocs:             vocab.NumDocs(),
+	}
+	for _, mp := range e.opts.MetaPaths {
+		p.MetaPaths = append(p.MetaPaths, mp.String())
+	}
+	p.Tokens = make([]string, vocab.Size())
+	p.DocFreqs = make([]int, vocab.Size())
+	for id := 0; id < vocab.Size(); id++ {
+		p.Tokens[id] = vocab.Token(textencTokenID(id))
+		p.DocFreqs[id] = vocab.DocFreq(textencTokenID(id))
+	}
+	if err := gob.NewEncoder(bw).Encode(&p); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Load restores an engine saved with Save, re-embedding every paper of g
+// with the restored fine-tuned encoder and rebuilding the PG-Index. The
+// graph must be the one the engine was built over (same node ids); Load
+// cannot verify that beyond basic shape checks.
+func Load(r io.Reader, g *hetgraph.Graph) (*Engine, error) {
+	var p enginePersist
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if p.Dim <= 0 || len(p.Tokens) == 0 || len(p.EmbData) != len(p.Tokens)*p.Dim {
+		return nil, fmt.Errorf("core: load: corrupt engine file (dim %d, %d tokens, %d weights)",
+			p.Dim, len(p.Tokens), len(p.EmbData))
+	}
+
+	opts := Options{
+		K:                   p.K,
+		SampleFraction:      p.SampleFraction,
+		NegPerPos:           p.NegPerPos,
+		MaxPositivesPerSeed: p.MaxPositivesPerSeed,
+		Dim:                 p.Dim,
+		EF:                  p.EF,
+		Seed:                p.Seed,
+		Index:               p.IndexConfig,
+		UsePGIndex:          Bool(p.UsePGIndex),
+		UseTA:               Bool(p.UseTA),
+	}
+	opts.NegStrategy = samplingStrategy(p.NegStrategy)
+	for _, s := range p.MetaPaths {
+		mp, err := hetgraph.ParseMetaPath(s)
+		if err != nil {
+			return nil, fmt.Errorf("core: load: %w", err)
+		}
+		opts.MetaPaths = append(opts.MetaPaths, mp)
+	}
+
+	enc, err := restoreEncoder(&p)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Engine{g: g, opts: opts, enc: enc}
+	e.cache = train.BuildTokenCache(g, enc)
+	e.Embeddings = train.EmbedAll(enc, e.cache)
+	e.stats.VocabSize = len(p.Tokens)
+	if p.UsePGIndex {
+		e.index = pgindex.Build(e.Embeddings, opts.Index)
+		e.stats.IndexEdges = e.index.NumEdges()
+		e.stats.IndexMemory = e.index.MemoryBytes()
+	}
+	return e, nil
+}
+
+// SaveEmbeddings writes E itself (paper id, vector) with gob, for
+// interoperability with external ANN tooling.
+func (e *Engine) SaveEmbeddings(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	type pair struct {
+		ID  hetgraph.NodeID
+		Vec vec.Vector
+	}
+	pairs := make([]pair, 0, len(e.Embeddings))
+	for _, p := range e.g.NodesOfType(hetgraph.Paper) {
+		pairs = append(pairs, pair{ID: p, Vec: e.Embeddings[p]})
+	}
+	if err := gob.NewEncoder(bw).Encode(pairs); err != nil {
+		return fmt.Errorf("core: save embeddings: %w", err)
+	}
+	return bw.Flush()
+}
+
+// textencTokenID converts a dense id to the tokenizer's id type; split out
+// to keep the Save loop readable.
+func textencTokenID(id int) textenc.TokenID { return textenc.TokenID(id) }
+
+// samplingStrategy converts a persisted strategy byte back to the enum.
+func samplingStrategy(b uint8) sampling.Strategy { return sampling.Strategy(b) }
+
+// restoreEncoder rebuilds the fine-tuned encoder from its persisted form.
+func restoreEncoder(p *enginePersist) (*textenc.Encoder, error) {
+	vocab, err := textenc.NewVocabFromTokens(p.Tokens, p.DocFreqs, p.NumDocs)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	enc, err := textenc.NewEncoderWithTable(vocab, p.Dim, p.EmbData)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	enc.Pooling = textenc.Pooling(p.Pooling)
+	return enc, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"expertfind/internal/hetgraph"
+)
+
+// NewPaper describes a paper to add to a built engine: its text, its
+// ordered author list (rank 1 first), and optional venue, topics and
+// citations. Authors, venue and topics must be existing nodes of the
+// engine's graph.
+type NewPaper struct {
+	Text    string
+	Authors []hetgraph.NodeID
+	Venues  []hetgraph.NodeID // usually one; empty for venue-less papers
+	Topics  []hetgraph.NodeID
+	Cites   []hetgraph.NodeID
+}
+
+// AddPaper appends a paper to the engine's graph, embeds it with the
+// fine-tuned encoder, and inserts it into the PG-Index, making it
+// immediately retrievable — the incremental path between offline rebuilds.
+// The encoder is not retrained and the vocabulary is frozen: unseen words
+// segment into subword pieces (or [UNK]), exactly as unseen query words
+// do. It returns the new paper's node id.
+//
+// AddPaper is not safe to call concurrently with queries; updates and
+// queries must be externally serialised (the serve layer treats engines as
+// read-only).
+func (e *Engine) AddPaper(p NewPaper) (hetgraph.NodeID, error) {
+	g := e.g
+	if len(p.Authors) == 0 {
+		return 0, fmt.Errorf("core: a paper needs at least one author")
+	}
+	for _, a := range p.Authors {
+		if err := expectType(g, a, hetgraph.Author); err != nil {
+			return 0, err
+		}
+	}
+	for _, v := range p.Venues {
+		if err := expectType(g, v, hetgraph.Venue); err != nil {
+			return 0, err
+		}
+	}
+	for _, t := range p.Topics {
+		if err := expectType(g, t, hetgraph.Topic); err != nil {
+			return 0, err
+		}
+	}
+	for _, c := range p.Cites {
+		if err := expectType(g, c, hetgraph.Paper); err != nil {
+			return 0, err
+		}
+	}
+
+	id := g.AddNode(hetgraph.Paper, p.Text)
+	for _, a := range p.Authors {
+		if err := g.AddEdge(a, id, hetgraph.Write); err != nil {
+			return 0, err
+		}
+	}
+	for _, v := range p.Venues {
+		if err := g.AddEdge(id, v, hetgraph.Publish); err != nil {
+			return 0, err
+		}
+	}
+	for _, t := range p.Topics {
+		if err := g.AddEdge(id, t, hetgraph.Mention); err != nil {
+			return 0, err
+		}
+	}
+	for _, c := range p.Cites {
+		if err := g.AddEdge(id, c, hetgraph.Cite); err != nil {
+			return 0, err
+		}
+	}
+
+	tokens := e.enc.Tokenizer().Tokenize(p.Text)
+	e.cache[id] = tokens
+	emb := e.enc.EncodeTokens(tokens)
+	e.Embeddings[id] = emb
+	if e.index != nil {
+		if err := e.index.Insert(id, emb); err != nil {
+			return 0, fmt.Errorf("core: index insert: %w", err)
+		}
+	}
+	return id, nil
+}
+
+func expectType(g *hetgraph.Graph, id hetgraph.NodeID, want hetgraph.NodeType) error {
+	if id < 0 || int(id) >= g.NumNodes() {
+		return fmt.Errorf("core: node %d out of range", id)
+	}
+	if got := g.Type(id); got != want {
+		return fmt.Errorf("core: node %d is a %s, want %s", id, got, want)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package hetgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON asserts the loader never panics and either errors cleanly
+// or yields a graph that round-trips.
+func FuzzReadJSON(f *testing.F) {
+	// Seed with a valid serialisation plus near-misses.
+	g, _ := figure2Core(&testing.T{})
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"nodes":[],"edges":[]}`)
+	f.Add(`{"nodes":[{"type":"P"}],"edges":[{"u":0,"v":0,"t":"Cite"}]}`)
+	f.Add(`{"nodes":[{"type":"A"},{"type":"P"}],"edges":[{"u":0,"v":1,"t":"Publish"}]}`)
+	f.Add(`{`)
+	f.Add(``)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		g, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return // clean rejection is fine
+		}
+		// Accepted graphs must round-trip consistently.
+		var out bytes.Buffer
+		if err := g.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted graph failed to serialise: %v", err)
+		}
+		g2, err := ReadJSON(&out)
+		if err != nil {
+			t.Fatalf("own serialisation rejected: %v", err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzMetaPathParse asserts the meta-path parser never panics.
+func FuzzMetaPathParse(f *testing.F) {
+	for _, seed := range []string{"P-A-P", "P-T-P", "P-P", "P-V-P", "", "-", "P--P", "X-Y", "P-A-P-A-P"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		mp, err := ParseMetaPath(s)
+		if err != nil {
+			return
+		}
+		if mp.Len() < 1 {
+			t.Fatalf("accepted meta-path %q with %d hops", s, mp.Len())
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package hetgraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, n := figure2Core(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() {
+		t.Fatalf("nodes %d != %d", g2.NumNodes(), g.NumNodes())
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges %d != %d", g2.NumEdges(), g.NumEdges())
+	}
+	for id := NodeID(0); int(id) < g.NumNodes(); id++ {
+		if g2.Type(id) != g.Type(id) || g2.Label(id) != g.Label(id) {
+			t.Fatalf("node %d type/label mismatch after round trip", id)
+		}
+	}
+	// Author order (ranks) must survive the round trip.
+	for _, p := range g.NodesOfType(Paper) {
+		a1 := g.AuthorsOf(p)
+		a2 := g2.AuthorsOf(p)
+		if len(a1) != len(a2) {
+			t.Fatalf("paper %d author count changed", p)
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("paper %d author order changed at rank %d", p, i+1)
+			}
+		}
+	}
+	_ = n
+}
+
+func TestJSONRoundTripRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng)
+		var buf bytes.Buffer
+		if err := g.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("seed %d: size mismatch after round trip", seed)
+		}
+		for _, p := range g.NodesOfType(Paper) {
+			w := g.PNeighbors(p, PAP)
+			got := g2.PNeighbors(p, PAP)
+			if len(w) != len(got) {
+				t.Fatalf("seed %d: P-neighbours of %d changed", seed, p)
+			}
+		}
+	}
+}
+
+func randomGraph(rng *rand.Rand) *Graph {
+	g := New()
+	var papers, authors []NodeID
+	for i := 0; i < 20; i++ {
+		papers = append(papers, g.AddNode(Paper, "text"))
+	}
+	for i := 0; i < 8; i++ {
+		authors = append(authors, g.AddNode(Author, "name"))
+	}
+	seen := map[[2]NodeID]bool{}
+	for _, p := range papers {
+		for j := 0; j < 2; j++ {
+			a := authors[rng.Intn(len(authors))]
+			if !seen[[2]NodeID{a, p}] {
+				seen[[2]NodeID{a, p}] = true
+				g.MustAddEdge(a, p, Write)
+			}
+		}
+	}
+	return g
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":[{"type":"Z"}],"edges":[]}`)); err == nil {
+		t.Error("unknown node type accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"nodes":[{"type":"P"}],"edges":[{"u":0,"v":5,"t":"Cite"}]}`)); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}

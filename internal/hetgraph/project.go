@@ -1,0 +1,86 @@
+package hetgraph
+
+import "fmt"
+
+// HomoGraph is the homogeneous paper-paper graph G' obtained by projecting
+// a heterogeneous graph along a meta-path (the "straightforward solution"
+// of §III-A, and the substrate of the homogeneous-embedding baselines).
+// Nodes are paper NodeIDs of the source graph; adjacency is deduplicated
+// and symmetric.
+type HomoGraph struct {
+	// Nodes lists the projected nodes (papers) in source-graph order.
+	Nodes []NodeID
+	// Adj maps each node to its deduplicated neighbour list.
+	Adj map[NodeID][]NodeID
+	// index maps a NodeID to its position in Nodes.
+	index map[NodeID]int
+}
+
+// Project materialises the full homogeneous graph for meta-path mp,
+// enumerating every paper's P-neighbours. This is the expensive step the
+// paper's community search avoids; it is provided for the naive (k,P)-core
+// baseline and for baselines that genuinely need the whole projection.
+func Project(g *Graph, mp MetaPath) *HomoGraph {
+	if !mp.IsPaperPaper() {
+		panic(fmt.Sprintf("hetgraph: projection requires a paper-paper meta-path, got %s", mp))
+	}
+	papers := g.NodesOfType(Paper)
+	h := &HomoGraph{
+		Nodes: papers,
+		Adj:   make(map[NodeID][]NodeID, len(papers)),
+		index: make(map[NodeID]int, len(papers)),
+	}
+	for i, p := range papers {
+		h.index[p] = i
+		h.Adj[p] = g.PNeighbors(p, mp)
+	}
+	return h
+}
+
+// ProjectMulti materialises the homogeneous graph whose edge set is the
+// union of the projections along each meta-path (used by baselines that
+// treat all relationships equally, the very noise source §I criticises).
+func ProjectMulti(g *Graph, mps []MetaPath) *HomoGraph {
+	papers := g.NodesOfType(Paper)
+	h := &HomoGraph{
+		Nodes: papers,
+		Adj:   make(map[NodeID][]NodeID, len(papers)),
+		index: make(map[NodeID]int, len(papers)),
+	}
+	seen := map[NodeID]bool{}
+	for i, p := range papers {
+		h.index[p] = i
+		clear(seen)
+		var nbrs []NodeID
+		for _, mp := range mps {
+			g.ForEachPNeighbor(p, mp, func(q NodeID) bool {
+				if !seen[q] {
+					seen[q] = true
+					nbrs = append(nbrs, q)
+				}
+				return true
+			})
+		}
+		h.Adj[p] = nbrs
+	}
+	return h
+}
+
+// NumNodes returns the number of projected nodes.
+func (h *HomoGraph) NumNodes() int { return len(h.Nodes) }
+
+// NumEdges returns the number of undirected projected edges.
+func (h *HomoGraph) NumEdges() int {
+	n := 0
+	for _, nbrs := range h.Adj {
+		n += len(nbrs)
+	}
+	return n / 2
+}
+
+// Index returns the dense position of node p in Nodes, and whether p is a
+// projected node.
+func (h *HomoGraph) Index(p NodeID) (int, bool) {
+	i, ok := h.index[p]
+	return i, ok
+}

@@ -1,0 +1,136 @@
+// Package testgraph builds small, hand-checkable heterogeneous graphs for
+// tests: most importantly the running example of the paper's Figure 2,
+// whose (k,P)-core structure Examples 2-4 work through by hand.
+package testgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"expertfind/internal/hetgraph"
+)
+
+// Figure2 reconstructs the paper's Figure 2(a) graph, with the properties
+// Examples 2-4 rely on (P = P-A-P):
+//
+//   - papers p1..p4 pairwise share the author a0, so each has exactly 3
+//     P-neighbours within {p1..p4}: the (3,P)-core.
+//   - a1 writes p1 and p2, so (p1, a1, p2) is a path instance of P-A-P
+//     (Example 2).
+//   - p5 co-authors with p4 (via a2) and with p6 (via a3): deg(p5) = 2,
+//     below k=3, so FastBCore excludes it while Algorithm 1's extension
+//     re-admits it as a P-neighbour of the seed p4 (Example 4).
+//   - p6..p9 hang off p5 in a chain, reachable only through p5.
+//   - p10 is an isolated paper with its own author.
+//   - p4 and p5 mention the same topic t1 (Example 4's "same author and
+//     topic"); other papers mention t2. Venue and citation edges give the
+//     P-V-P and P-P meta-paths something to traverse.
+//
+// The returned map gives each node by its paper-figure name ("p1".."p10",
+// "a0".., "t1", "t2", "v1").
+func Figure2() (*hetgraph.Graph, map[string]hetgraph.NodeID) {
+	g := hetgraph.New()
+	n := map[string]hetgraph.NodeID{}
+
+	for i := 1; i <= 10; i++ {
+		name := fmt.Sprintf("p%d", i)
+		n[name] = g.AddNode(hetgraph.Paper, "paper "+name)
+	}
+	for i := 0; i <= 7; i++ {
+		name := fmt.Sprintf("a%d", i)
+		n[name] = g.AddNode(hetgraph.Author, "author "+name)
+	}
+	n["t1"] = g.AddNode(hetgraph.Topic, "topic t1")
+	n["t2"] = g.AddNode(hetgraph.Topic, "topic t2")
+	n["v1"] = g.AddNode(hetgraph.Venue, "venue v1")
+
+	write := func(a, p string) { g.MustAddEdge(n[a], n[p], hetgraph.Write) }
+	// a0 writes p1..p4: the 3-core clique.
+	write("a0", "p1")
+	write("a0", "p2")
+	write("a0", "p3")
+	write("a0", "p4")
+	// a1 writes p1, p2 (Example 2's path instance).
+	write("a1", "p1")
+	write("a1", "p2")
+	// a2 links p4 and p5; a3 links p5 and p6.
+	write("a2", "p4")
+	write("a2", "p5")
+	write("a3", "p5")
+	write("a3", "p6")
+	// The tail chain p6-p7-p8-p9.
+	write("a4", "p6")
+	write("a4", "p7")
+	write("a5", "p7")
+	write("a5", "p8")
+	write("a6", "p8")
+	write("a6", "p9")
+	// p10 stands alone.
+	write("a7", "p10")
+
+	// Topics: p4 and p5 share t1; the rest mention t2.
+	g.MustAddEdge(n["p4"], n["t1"], hetgraph.Mention)
+	g.MustAddEdge(n["p5"], n["t1"], hetgraph.Mention)
+	for _, p := range []string{"p1", "p2", "p3", "p6", "p7", "p8", "p9", "p10"} {
+		g.MustAddEdge(n[p], n["t2"], hetgraph.Mention)
+	}
+	// One venue for everything, and a couple of citations.
+	for i := 1; i <= 10; i++ {
+		g.MustAddEdge(n[fmt.Sprintf("p%d", i)], n["v1"], hetgraph.Publish)
+	}
+	g.MustAddEdge(n["p1"], n["p2"], hetgraph.Cite)
+	g.MustAddEdge(n["p2"], n["p3"], hetgraph.Cite)
+
+	return g, n
+}
+
+// Random builds a random heterogeneous graph with nPapers papers,
+// nAuthors authors, nTopics topics and approximately edgeFactor write
+// edges per paper, for property tests. All randomness comes from rng.
+func Random(rng *rand.Rand, nPapers, nAuthors, nTopics, edgeFactor int) *hetgraph.Graph {
+	g := hetgraph.New()
+	papers := make([]hetgraph.NodeID, nPapers)
+	authors := make([]hetgraph.NodeID, nAuthors)
+	topics := make([]hetgraph.NodeID, nTopics)
+	for i := range papers {
+		papers[i] = g.AddNode(hetgraph.Paper, fmt.Sprintf("paper %d text", i))
+	}
+	for i := range authors {
+		authors[i] = g.AddNode(hetgraph.Author, fmt.Sprintf("author %d", i))
+	}
+	for i := range topics {
+		topics[i] = g.AddNode(hetgraph.Topic, fmt.Sprintf("topic %d", i))
+	}
+	v := g.AddNode(hetgraph.Venue, "venue")
+	seen := map[[2]hetgraph.NodeID]bool{}
+	for _, p := range papers {
+		for e := 0; e < edgeFactor; e++ {
+			a := authors[rng.Intn(len(authors))]
+			key := [2]hetgraph.NodeID{a, p}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			g.MustAddEdge(a, p, hetgraph.Write)
+		}
+		if nTopics > 0 {
+			tp := topics[rng.Intn(len(topics))]
+			key := [2]hetgraph.NodeID{tp, p}
+			if !seen[key] {
+				seen[key] = true
+				g.MustAddEdge(p, tp, hetgraph.Mention)
+			}
+		}
+		g.MustAddEdge(p, v, hetgraph.Publish)
+		if len(papers) > 1 && rng.Intn(2) == 0 {
+			q := papers[rng.Intn(len(papers))]
+			key := [2]hetgraph.NodeID{p, q}
+			rkey := [2]hetgraph.NodeID{q, p}
+			if q != p && !seen[key] && !seen[rkey] {
+				seen[key] = true
+				g.MustAddEdge(p, q, hetgraph.Cite)
+			}
+		}
+	}
+	return g
+}

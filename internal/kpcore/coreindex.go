@@ -1,0 +1,147 @@
+package kpcore
+
+import (
+	"sort"
+
+	"expertfind/internal/hetgraph"
+)
+
+// CoreIndex precomputes, for one meta-path and one k, everything needed to
+// answer (k,P)-core community queries for any seed in O(|community|):
+// the projection's core membership and the connected components of the
+// core-induced subgraph. The sampling stage issues f·|V(P)| community
+// searches over the same graph; Algorithm 1 answers each from scratch,
+// while the index pays one projection + decomposition and serves every
+// seed afterwards — the batch counterpart DESIGN.md calls out.
+type CoreIndex struct {
+	g  *hetgraph.Graph
+	mp hetgraph.MetaPath
+	k  int
+
+	// comp[p] is the core-component label of paper p (core members only);
+	// -1 for papers outside the core.
+	comp map[hetgraph.NodeID]int32
+	// members[c] lists component c's papers, sorted.
+	members [][]hetgraph.NodeID
+	// boundary[c] lists the non-core papers P-adjacent to component c,
+	// sorted: the index's near-negative pool. It generally differs from
+	// Algorithm 1's delete-queue pool (which also holds sub-k papers met
+	// during the labelled search), but serves the same purpose: papers
+	// close to the community yet outside it.
+	boundary [][]hetgraph.NodeID
+}
+
+// NewCoreIndex builds the index by projecting g along mp and decomposing
+// it once.
+func NewCoreIndex(g *hetgraph.Graph, k int, mp hetgraph.MetaPath) *CoreIndex {
+	h := hetgraph.Project(g, mp)
+	d := Decompose(h)
+
+	idx := &CoreIndex{g: g, mp: mp, k: k, comp: make(map[hetgraph.NodeID]int32, len(h.Nodes))}
+	inCore := func(p hetgraph.NodeID) bool { return d.CoreNumber[p] >= k }
+
+	// Label the connected components of the core-induced subgraph.
+	for _, p := range h.Nodes {
+		if !inCore(p) {
+			idx.comp[p] = -1
+			continue
+		}
+		if _, done := idx.comp[p]; done {
+			continue
+		}
+		label := int32(len(idx.members))
+		var mems []hetgraph.NodeID
+		bset := map[hetgraph.NodeID]bool{}
+		queue := []hetgraph.NodeID{p}
+		idx.comp[p] = label
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			mems = append(mems, v)
+			for _, u := range h.Adj[v] {
+				if !inCore(u) {
+					bset[u] = true
+					continue
+				}
+				if _, done := idx.comp[u]; !done {
+					idx.comp[u] = label
+					queue = append(queue, u)
+				}
+			}
+		}
+		sort.Slice(mems, func(i, j int) bool { return mems[i] < mems[j] })
+		bnd := make([]hetgraph.NodeID, 0, len(bset))
+		for v := range bset {
+			bnd = append(bnd, v)
+		}
+		sort.Slice(bnd, func(i, j int) bool { return bnd[i] < bnd[j] })
+		idx.members = append(idx.members, mems)
+		idx.boundary = append(idx.boundary, bnd)
+	}
+	return idx
+}
+
+// K returns the index's cohesiveness threshold.
+func (idx *CoreIndex) K() int { return idx.k }
+
+// MetaPath returns the index's meta-path.
+func (idx *CoreIndex) MetaPath() hetgraph.MetaPath { return idx.mp }
+
+// NumComponents returns the number of connected core components.
+func (idx *CoreIndex) NumComponents() int { return len(idx.members) }
+
+// CoreNumberAtLeastK reports whether p is a member of the global
+// (k,P)-core.
+func (idx *CoreIndex) CoreNumberAtLeastK(p hetgraph.NodeID) bool {
+	c, ok := idx.comp[p]
+	return ok && c >= 0
+}
+
+// CommunityAround answers the same query as Search: the seed-connected
+// core region, the extended member set (seed + its P-neighbours), and a
+// near pool. Core and Members match Search exactly; Near is the community
+// boundary (see the field comment).
+func (idx *CoreIndex) CommunityAround(seed hetgraph.NodeID) *Community {
+	// Collect the core components the seed belongs to or touches.
+	compSet := map[int32]bool{}
+	if c, ok := idx.comp[seed]; ok && c >= 0 {
+		compSet[c] = true
+	}
+	memberSet := map[hetgraph.NodeID]bool{seed: true}
+	idx.g.ForEachPNeighbor(seed, idx.mp, func(u hetgraph.NodeID) bool {
+		memberSet[u] = true
+		if c, ok := idx.comp[u]; ok && c >= 0 {
+			compSet[c] = true
+		}
+		return true
+	})
+
+	var core []hetgraph.NodeID
+	nearSet := map[hetgraph.NodeID]bool{}
+	for c := range compSet {
+		core = append(core, idx.members[c]...)
+		for _, v := range idx.boundary[c] {
+			nearSet[v] = true
+		}
+	}
+	sort.Slice(core, func(i, j int) bool { return core[i] < core[j] })
+	for _, v := range core {
+		memberSet[v] = true
+	}
+
+	members := make([]hetgraph.NodeID, 0, len(memberSet))
+	for v := range memberSet {
+		members = append(members, v)
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+
+	near := make([]hetgraph.NodeID, 0, len(nearSet))
+	for v := range nearSet {
+		if !memberSet[v] {
+			near = append(near, v)
+		}
+	}
+	sort.Slice(near, func(i, j int) bool { return near[i] < near[j] })
+
+	return &Community{Seed: seed, Core: core, Members: members, Near: near}
+}

@@ -1,0 +1,85 @@
+package kpcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"expertfind/internal/dataset"
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/hetgraph/testgraph"
+)
+
+func TestCoreIndexMatchesSearchOnFigure2(t *testing.T) {
+	g, n := testgraph.Figure2()
+	idx := NewCoreIndex(g, 3, hetgraph.PAP)
+	for _, seed := range []string{"p4", "p1", "p5", "p10"} {
+		want := Search(g, n[seed], 3, hetgraph.PAP)
+		got := idx.CommunityAround(n[seed])
+		if !equalIDs(got.Core, want.Core) {
+			t.Errorf("seed %s: core %v != %v", seed, asNames(n, got.Core), asNames(n, want.Core))
+		}
+		if !equalIDs(got.Members, want.Members) {
+			t.Errorf("seed %s: members %v != %v", seed, asNames(n, got.Members), asNames(n, want.Members))
+		}
+	}
+	if idx.K() != 3 || idx.MetaPath().String() != "P-A-P" {
+		t.Error("accessors wrong")
+	}
+}
+
+// TestCoreIndexMatchesSearchOnDatasets: Core and Members agree with
+// Algorithm 1 for every sampled seed on realistic networks; the near pool
+// is a boundary set (different construction) but must stay disjoint from
+// the members and non-empty whenever the search's pool is.
+func TestCoreIndexMatchesSearchOnDatasets(t *testing.T) {
+	ds := dataset.Generate(dataset.AminerSim(400))
+	g := ds.Graph
+	rng := rand.New(rand.NewSource(6))
+	papers := g.NodesOfType(hetgraph.Paper)
+	for _, mp := range []hetgraph.MetaPath{hetgraph.PAP, hetgraph.PP} {
+		idx := NewCoreIndex(g, 4, mp)
+		for i := 0; i < 15; i++ {
+			seed := papers[rng.Intn(len(papers))]
+			want := Search(g, seed, 4, mp)
+			got := idx.CommunityAround(seed)
+			if !equalIDs(got.Core, want.Core) {
+				t.Fatalf("%s seed %d: cores differ (%d vs %d members)",
+					mp, seed, len(got.Core), len(want.Core))
+			}
+			if !equalIDs(got.Members, want.Members) {
+				t.Fatalf("%s seed %d: members differ", mp, seed)
+			}
+			for _, v := range got.Near {
+				if got.Contains(v) {
+					t.Fatalf("%s seed %d: near member %d inside community", mp, seed, v)
+				}
+			}
+		}
+	}
+}
+
+func TestCoreIndexComponents(t *testing.T) {
+	g, n := testgraph.Figure2()
+	idx := NewCoreIndex(g, 3, hetgraph.PAP)
+	// Figure 2 has exactly one 3-core component: {p1..p4}.
+	if idx.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", idx.NumComponents())
+	}
+	if !idx.CoreNumberAtLeastK(n["p1"]) || idx.CoreNumberAtLeastK(n["p5"]) {
+		t.Error("core membership wrong")
+	}
+}
+
+func TestCoreIndexAmortizesManySeeds(t *testing.T) {
+	// The index must answer every paper as a seed without error and with
+	// valid communities (seed always a member).
+	ds := dataset.Generate(dataset.AminerSim(300))
+	g := ds.Graph
+	idx := NewCoreIndex(g, 4, hetgraph.PAP)
+	for _, p := range g.NodesOfType(hetgraph.Paper) {
+		com := idx.CommunityAround(p)
+		if !com.Contains(p) {
+			t.Fatalf("seed %d missing from its own community", p)
+		}
+	}
+}

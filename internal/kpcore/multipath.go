@@ -1,0 +1,89 @@
+package kpcore
+
+import (
+	"sort"
+
+	"expertfind/internal/hetgraph"
+)
+
+// SearchMulti runs the §V optimisation: for a seed paper it searches one
+// (k,P)-core community per meta-path and intersects them (Eq. 8), yielding
+// the common sub-community G^k_{P1..Pl} whose papers are cohesive under
+// every relationship simultaneously.
+//
+// Core and Members of the result are the intersections of the per-path
+// Core and Members sets; Near is the union of the per-path near pools (a
+// paper close to any one community is a useful near negative). With a
+// single meta-path it reduces exactly to Search.
+func SearchMulti(g *hetgraph.Graph, seed hetgraph.NodeID, k int, mps []hetgraph.MetaPath) *Community {
+	if len(mps) == 0 {
+		panic("kpcore: SearchMulti needs at least one meta-path")
+	}
+	result := Search(g, seed, k, mps[0])
+	for _, mp := range mps[1:] {
+		next := Search(g, seed, k, mp)
+		result.Core = intersectSorted(result.Core, next.Core)
+		result.Members = intersectSorted(result.Members, next.Members)
+		result.Near = unionSorted(result.Near, next.Near)
+	}
+	// The seed always remains a member: the extension step of each search
+	// guarantees seed ∈ Members, so the intersection preserves it.
+	return result
+}
+
+func intersectSorted(a, b []hetgraph.NodeID) []hetgraph.NodeID {
+	out := a[:0:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func unionSorted(a, b []hetgraph.NodeID) []hetgraph.NodeID {
+	out := make([]hetgraph.NodeID, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupSorted(out)
+}
+
+// SearchMultiIndexed is SearchMulti answered from prebuilt CoreIndexes
+// (one per meta-path, all with the same k): identical Core and Members,
+// boundary-style near pools. Building the indexes once and calling this
+// per seed amortises the projection across the f·|V(P)| seeds of the
+// sampling stage.
+func SearchMultiIndexed(idxs []*CoreIndex, seed hetgraph.NodeID) *Community {
+	if len(idxs) == 0 {
+		panic("kpcore: SearchMultiIndexed needs at least one index")
+	}
+	result := idxs[0].CommunityAround(seed)
+	for _, idx := range idxs[1:] {
+		next := idx.CommunityAround(seed)
+		result.Core = intersectSorted(result.Core, next.Core)
+		result.Members = intersectSorted(result.Members, next.Members)
+		result.Near = unionSorted(result.Near, next.Near)
+	}
+	// Keep Near disjoint from the (possibly shrunken) member set.
+	memberSet := map[hetgraph.NodeID]bool{}
+	for _, v := range result.Members {
+		memberSet[v] = true
+	}
+	kept := result.Near[:0]
+	for _, v := range result.Near {
+		if !memberSet[v] {
+			kept = append(kept, v)
+		}
+	}
+	result.Near = kept
+	return result
+}

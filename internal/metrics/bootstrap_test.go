@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPairedBootstrapClearWinner(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 60
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		b[i] = 0.3 + rng.Float64()*0.1
+		a[i] = b[i] + 0.15 + rng.Float64()*0.05 // a clearly better
+	}
+	res, err := PairedBootstrap(a, b, 5000, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanDiff <= 0.1 {
+		t.Errorf("MeanDiff = %v", res.MeanDiff)
+	}
+	if res.PValue > 0.01 {
+		t.Errorf("p = %v for a clear winner", res.PValue)
+	}
+	if !(res.CILow > 0 && res.CILow < res.MeanDiff && res.MeanDiff < res.CIHigh) {
+		t.Errorf("CI [%v, %v] inconsistent with mean %v", res.CILow, res.CIHigh, res.MeanDiff)
+	}
+}
+
+func TestPairedBootstrapNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 60
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Float64()
+		b[i] = rng.Float64()
+	}
+	res, err := PairedBootstrap(a, b, 5000, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.05 && res.PValue > 0.95 {
+		t.Errorf("p = %v for identically distributed systems", res.PValue)
+	}
+	if res.CILow > 0 || res.CIHigh < 0 {
+		t.Errorf("CI [%v, %v] excludes 0 for no-difference data", res.CILow, res.CIHigh)
+	}
+}
+
+func TestPairedBootstrapValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := PairedBootstrap([]float64{1}, []float64{1, 2}, 100, rng); err == nil {
+		t.Error("misaligned input accepted")
+	}
+	if _, err := PairedBootstrap(nil, nil, 100, rng); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestPairedBootstrapDeterministic(t *testing.T) {
+	a := []float64{0.5, 0.6, 0.7, 0.4}
+	b := []float64{0.4, 0.5, 0.6, 0.5}
+	r1, _ := PairedBootstrap(a, b, 1000, rand.New(rand.NewSource(9)))
+	r2, _ := PairedBootstrap(a, b, 1000, rand.New(rand.NewSource(9)))
+	if r1 != r2 {
+		t.Error("same seed gave different results")
+	}
+}

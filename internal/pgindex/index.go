@@ -1,0 +1,448 @@
+package pgindex
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/vec"
+)
+
+// Config controls PG-Index construction. Zero values take defaults.
+type Config struct {
+	// K is the kNN-graph degree (default 10).
+	K int
+	// MaxIters bounds NNDescent iterations (default 12).
+	MaxIters int
+	// MaxDegree caps a node's refined out-degree after long-distance
+	// extension and redundant removal (default 2*K).
+	MaxDegree int
+	// Refine toggles Algorithm 2's neighbour refinement (lines 7-12); the
+	// "raw kNN graph" ablation disables it.
+	Refine bool
+	// Seed drives NNDescent's random initialisation.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 12
+	}
+	if c.MaxDegree <= 0 {
+		c.MaxDegree = 2 * c.K
+	}
+	return c
+}
+
+// DefaultConfig returns the configuration used by the experiments, with
+// refinement on.
+func DefaultConfig() Config { return Config{Refine: true}.withDefaults() }
+
+// Index is the proximity-graph document index. Nodes are papers; each
+// keeps a short refined out-neighbour list; search enters at the
+// navigating node (the paper closest to the corpus centroid).
+type Index struct {
+	ids  []hetgraph.NodeID // dense index -> paper id
+	embs []vec.Vector      // dense index -> representation
+	nbrs [][]int32         // refined out-neighbours per dense index
+	nav  int32             // navigating node (dense index)
+	// entries are additional stratified search entry points. Fine-tuned
+	// corpora form tight, mutually near-equidistant clusters; a single
+	// entry leaves greedy search stranded on that plateau, so the search
+	// seeds its pool with these as well (see EXPERIMENTS.md).
+	entries []int32
+	pos     map[hetgraph.NodeID]int32
+	// dead tombstones removed papers (see Remove); nil when none.
+	dead    []bool
+	numDead int
+}
+
+// Result is one retrieved paper with its distance to the query.
+type Result struct {
+	ID   hetgraph.NodeID
+	Dist float64 // L2 distance δ to the query
+}
+
+// Build constructs the PG-Index over the document embeddings E
+// (Algorithm 2): navigating-node selection, kNN-graph initialisation via
+// NNDescent, long-distance neighbour extension, and redundant-neighbour
+// removal. Construction is deterministic for a given cfg.Seed.
+func Build(embs map[hetgraph.NodeID]vec.Vector, cfg Config) *Index {
+	cfg = cfg.withDefaults()
+	idx := &Index{pos: make(map[hetgraph.NodeID]int32, len(embs))}
+	idx.ids = make([]hetgraph.NodeID, 0, len(embs))
+	for id := range embs {
+		idx.ids = append(idx.ids, id)
+	}
+	sort.Slice(idx.ids, func(i, j int) bool { return idx.ids[i] < idx.ids[j] })
+	idx.embs = make([]vec.Vector, len(idx.ids))
+	for i, id := range idx.ids {
+		idx.embs[i] = embs[id]
+		idx.pos[id] = int32(i)
+	}
+	if len(idx.ids) == 0 {
+		return idx
+	}
+
+	// (1) Navigating node: the paper whose representation is closest to
+	// the centroid g of all papers.
+	centroid := vec.Mean(idx.embs)
+	best, bestD := 0, idx.embs[0].L2Sq(centroid)
+	for i := 1; i < len(idx.embs); i++ {
+		if d := idx.embs[i].L2Sq(centroid); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	idx.nav = int32(best)
+
+	// (2) Initialise the kNN graph with NNDescent.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	knn := nnDescent(idx.embs, cfg.K, cfg.MaxIters, rng)
+
+	if !cfg.Refine {
+		idx.nbrs = knn
+		idx.ensureReachable()
+		idx.pickEntries()
+		return idx
+	}
+
+	// (3) Refine neighbours: extend with two-hop "highway" candidates,
+	// then drop occluded (redundant) ones.
+	idx.nbrs = make([][]int32, len(knn))
+	for p := range knn {
+		cands := map[int32]bool{}
+		for _, x := range knn[p] {
+			cands[x] = true
+			for _, y := range knn[x] {
+				if int(y) != p {
+					cands[y] = true
+				}
+			}
+		}
+		idx.nbrs[p] = idx.refineNeighbors(int32(p), cands, cfg.MaxDegree)
+	}
+
+	// (4) Connectivity repair: occlusion pruning can disconnect tightly
+	// clustered corpora from the navigating node (every cross-cluster edge
+	// is "redundant" under near-tied distances), leaving greedy search
+	// stranded. As in NSG/Vamana, link every unreachable node to its
+	// nearest reachable one so the search tree spans all papers.
+	idx.ensureReachable()
+	idx.pickEntries()
+	return idx
+}
+
+// pickEntries selects up to 32 stratified extra entry points (every
+// n/32-th node in dense order), deterministic for a given corpus.
+func (idx *Index) pickEntries() {
+	n := len(idx.ids)
+	const want = 32
+	if n <= want {
+		return
+	}
+	stride := n / want
+	for i := 0; i < n; i += stride {
+		idx.entries = append(idx.entries, int32(i))
+	}
+}
+
+// ensureReachable makes every node reachable from the navigating node by
+// BFS over out-edges, adding bidirectional links from stranded nodes to
+// their nearest reachable node.
+func (idx *Index) ensureReachable() {
+	n := len(idx.ids)
+	if n == 0 {
+		return
+	}
+	reached := make([]bool, n)
+	var reachable []int32
+	var bfs func(start int32)
+	bfs = func(start int32) {
+		queue := []int32{start}
+		reached[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			reachable = append(reachable, v)
+			for _, u := range idx.nbrs[v] {
+				if !reached[u] {
+					reached[u] = true
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	bfs(idx.nav)
+	for u := int32(0); int(u) < n; u++ {
+		if reached[u] {
+			continue
+		}
+		// Nearest currently reachable node to u.
+		best, bestD := reachable[0], idx.embs[u].L2Sq(idx.embs[reachable[0]])
+		for _, v := range reachable[1:] {
+			if d := idx.embs[u].L2Sq(idx.embs[v]); d < bestD {
+				best, bestD = v, d
+			}
+		}
+		idx.nbrs[best] = append(idx.nbrs[best], u)
+		idx.nbrs[u] = append(idx.nbrs[u], best)
+		bfs(u)
+	}
+}
+
+// refineNeighbors applies the redundant-neighbour removal of Algorithm 2
+// (lines 9-12): visiting candidates in ascending distance from p, a
+// candidate y is redundant — and removed — if some already-kept neighbour x
+// satisfies δ(x,y) <= δ(y,p), because the search can reach y through x.
+func (idx *Index) refineNeighbors(p int32, cands map[int32]bool, maxDegree int) []int32 {
+	type cd struct {
+		id   int32
+		dist float64
+	}
+	list := make([]cd, 0, len(cands))
+	for c := range cands {
+		list = append(list, cd{c, idx.embs[p].L2Sq(idx.embs[c])})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].dist != list[j].dist {
+			return list[i].dist < list[j].dist
+		}
+		return list[i].id < list[j].id
+	})
+	var kept []int32
+	for _, c := range list {
+		if len(kept) >= maxDegree {
+			break
+		}
+		redundant := false
+		for _, x := range kept {
+			if idx.embs[x].L2Sq(idx.embs[c.id]) <= c.dist {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, c.id)
+		}
+	}
+	return kept
+}
+
+// SearchStats reports the work done by one search, for the efficiency
+// experiments (Figure 5's expansion/visit counts).
+type SearchStats struct {
+	DistanceComputations int
+	NodesVisited         int
+	Expansions           int
+}
+
+// Search returns the m papers most similar to the query representation,
+// using greedy best-first expansion from the navigating node (§IV-B) with
+// a candidate pool of size max(m, ef), seeded with the stratified entry
+// points. ef=0 uses 2m. Results are sorted ascending by distance.
+func (idx *Index) Search(query vec.Vector, m, ef int) ([]Result, SearchStats) {
+	return idx.SearchEx(query, m, ef, true)
+}
+
+// SearchEx is Search with the entry strategy exposed: multiEntry=false
+// starts from the navigating node alone, the paper's original §IV-B
+// procedure (used by the Figure 5 experiment to isolate the effect of the
+// Algorithm 2 refinement); multiEntry=true additionally seeds the
+// stratified entries, which rescue greedy search on tightly clustered
+// fine-tuned corpora (see DESIGN.md).
+func (idx *Index) SearchEx(query vec.Vector, m, ef int, multiEntry bool) ([]Result, SearchStats) {
+	var st SearchStats
+	n := len(idx.ids)
+	if n == 0 || m <= 0 {
+		return nil, st
+	}
+	if m > n {
+		m = n
+	}
+	if ef < m {
+		ef = 2 * m
+		if ef < m {
+			ef = m
+		}
+	}
+
+	visited := make(map[int32]bool, ef*4)
+	cand := &distHeap{} // min-heap: closest first, to expand
+	pool := &maxHeap{}  // max-heap of current best ef results
+	heap.Init(cand)
+	heap.Init(pool)
+
+	push := func(i int32) {
+		if visited[i] {
+			return
+		}
+		visited[i] = true
+		d := idx.embs[i].L2Sq(query)
+		st.DistanceComputations++
+		st.NodesVisited++
+		if idx.isDead(i) {
+			// Tombstoned papers keep routing traffic but never enter the
+			// result pool.
+			heap.Push(cand, distEntry{i, d})
+			return
+		}
+		if pool.Len() < ef {
+			heap.Push(cand, distEntry{i, d})
+			heap.Push(pool, distEntry{i, d})
+		} else if d < (*pool)[0].dist {
+			heap.Push(cand, distEntry{i, d})
+			heap.Pop(pool)
+			heap.Push(pool, distEntry{i, d})
+		}
+	}
+	push(idx.nav)
+	if multiEntry {
+		for _, e := range idx.entries {
+			push(e)
+		}
+	}
+	for cand.Len() > 0 {
+		cur := heap.Pop(cand).(distEntry)
+		if pool.Len() >= ef && cur.dist > (*pool)[0].dist {
+			break // the nearest unexpanded candidate cannot improve the pool
+		}
+		st.Expansions++
+		for _, nb := range idx.nbrs[cur.id] {
+			push(nb)
+		}
+	}
+
+	res := make([]Result, pool.Len())
+	for i := len(res) - 1; i >= 0; i-- {
+		e := heap.Pop(pool).(distEntry)
+		res[i] = Result{ID: idx.ids[e.id], Dist: sqrt(e.dist)}
+	}
+	if len(res) > m {
+		res = res[:m]
+	}
+	return res, st
+}
+
+// BruteForce scans every embedding and returns the exact m nearest papers
+// to the query, sorted ascending by distance — the "w/o PG-Index" variant.
+func BruteForce(embs map[hetgraph.NodeID]vec.Vector, query vec.Vector, m int) []Result {
+	all := make([]Result, 0, len(embs))
+	for id, e := range embs {
+		all = append(all, Result{ID: id, Dist: query.L2(e)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > m {
+		all = all[:m]
+	}
+	return all
+}
+
+// Len returns the number of live (searchable) papers.
+func (idx *Index) Len() int { return len(idx.ids) - idx.numDead }
+
+// NavigatingNode returns the entry paper of the index.
+func (idx *Index) NavigatingNode() hetgraph.NodeID { return idx.ids[idx.nav] }
+
+// Neighbors returns the refined out-neighbours of paper p, for tests and
+// diagnostics.
+func (idx *Index) Neighbors(p hetgraph.NodeID) []hetgraph.NodeID {
+	i, ok := idx.pos[p]
+	if !ok {
+		return nil
+	}
+	out := make([]hetgraph.NodeID, len(idx.nbrs[i]))
+	for j, nb := range idx.nbrs[i] {
+		out[j] = idx.ids[nb]
+	}
+	return out
+}
+
+// NumEdges returns the total number of directed proximity edges, the
+// index-size figure of Table VI.
+func (idx *Index) NumEdges() int {
+	n := 0
+	for _, nb := range idx.nbrs {
+		n += len(nb)
+	}
+	return n
+}
+
+// MemoryBytes estimates the index's resident size: embeddings plus
+// adjacency plus the id maps (Table VI's memory column).
+func (idx *Index) MemoryBytes() int64 {
+	var b int64
+	for _, e := range idx.embs {
+		b += int64(len(e)) * 8
+	}
+	b += int64(idx.NumEdges()) * 4
+	b += int64(len(idx.ids)) * (4 + 8) // ids slice + pos map entries (approx)
+	return b
+}
+
+// Embedding returns the indexed representation of p, or nil.
+func (idx *Index) Embedding(p hetgraph.NodeID) vec.Vector {
+	i, ok := idx.pos[p]
+	if !ok {
+		return nil
+	}
+	return idx.embs[i]
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+func (idx *Index) String() string {
+	return fmt.Sprintf("pgindex: %d papers, %d edges, nav=%d", idx.Len(), idx.NumEdges(), idx.nav)
+}
+
+// distEntry pairs a dense node index with its (squared) distance to the
+// current query.
+type distEntry struct {
+	id   int32
+	dist float64
+}
+
+// distHeap is a min-heap over distance.
+type distHeap []distEntry
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// maxHeap is a max-heap over distance (worst of the result pool on top).
+type maxHeap []distEntry
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,74 @@
+package pgindex
+
+import (
+	"fmt"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/vec"
+)
+
+// Insert adds a newly embedded paper to an existing index without a full
+// rebuild, so a corpus can grow between offline builds. The new node's
+// out-neighbours are chosen by searching the current graph for its
+// nearest candidates and applying the same occlusion rule as Algorithm 2;
+// reverse edges are added (re-pruned when a neighbour's list overflows)
+// so the node is reachable. The first insert into an empty index makes
+// the node the navigating node.
+func (idx *Index) Insert(id hetgraph.NodeID, v vec.Vector) error {
+	if _, dup := idx.pos[id]; dup {
+		return fmt.Errorf("pgindex: paper %d already indexed", id)
+	}
+	if len(idx.embs) > 0 && v.Dim() != idx.embs[0].Dim() {
+		return fmt.Errorf("pgindex: dimension %d != index dimension %d", v.Dim(), idx.embs[0].Dim())
+	}
+
+	dense := int32(len(idx.ids))
+	idx.ids = append(idx.ids, id)
+	idx.embs = append(idx.embs, v)
+	idx.pos[id] = dense
+	idx.nbrs = append(idx.nbrs, nil)
+	if dense == 0 {
+		idx.nav = 0
+		return nil
+	}
+
+	// Candidate neighbours: the nearest nodes under the current graph
+	// (over-fetched, then occlusion-pruned like refineNeighbors).
+	const maxDegree = 20 // matches DefaultConfig: 2*K
+	res, _ := idx.searchDense(v, maxDegree*3)
+	cands := map[int32]bool{}
+	for _, r := range res {
+		cands[r] = true
+	}
+	idx.nbrs[dense] = idx.refineNeighbors(dense, cands, maxDegree)
+
+	// Reverse edges keep the new node reachable; overflowing lists are
+	// re-pruned with the same rule.
+	for _, nb := range idx.nbrs[dense] {
+		idx.nbrs[nb] = append(idx.nbrs[nb], dense)
+		if len(idx.nbrs[nb]) > maxDegree*2 {
+			c := map[int32]bool{}
+			for _, x := range idx.nbrs[nb] {
+				c[x] = true
+			}
+			idx.nbrs[nb] = idx.refineNeighbors(nb, c, maxDegree)
+		}
+	}
+	if len(idx.nbrs[dense]) == 0 {
+		// Degenerate geometry (e.g. exact duplicates): link to the
+		// navigating node so reachability holds.
+		idx.nbrs[dense] = append(idx.nbrs[dense], idx.nav)
+		idx.nbrs[idx.nav] = append(idx.nbrs[idx.nav], dense)
+	}
+	return nil
+}
+
+// searchDense is Search returning dense indices, for internal use.
+func (idx *Index) searchDense(q vec.Vector, m int) ([]int32, SearchStats) {
+	res, st := idx.Search(q, m, 0)
+	out := make([]int32, len(res))
+	for i, r := range res {
+		out[i] = idx.pos[r.ID]
+	}
+	return out, st
+}

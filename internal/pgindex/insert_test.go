@@ -1,0 +1,246 @@
+package pgindex
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/vec"
+)
+
+func TestInsertIntoEmptyIndex(t *testing.T) {
+	idx := Build(map[hetgraph.NodeID]vec.Vector{}, Config{Refine: true})
+	if err := idx.Insert(5, vec.Vector{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 1 || idx.NavigatingNode() != 5 {
+		t.Fatalf("empty-insert state: len %d, nav %d", idx.Len(), idx.NavigatingNode())
+	}
+	res, _ := idx.Search(vec.Vector{1, 0}, 1, 0)
+	if len(res) != 1 || res[0].ID != 5 {
+		t.Errorf("search after first insert = %v", res)
+	}
+}
+
+func TestInsertFindable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	embs := randomEmbeddings(rng, 100, 8)
+	idx := Build(embs, Config{Refine: true, Seed: 1})
+
+	// Insert 30 new points; each must be retrievable as its own nearest
+	// neighbour afterwards.
+	for i := 0; i < 30; i++ {
+		id := hetgraph.NodeID(1000 + i)
+		v := vec.New(8)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		v.Normalize()
+		if err := idx.Insert(id, v); err != nil {
+			t.Fatal(err)
+		}
+		res, _ := idx.Search(v, 1, 0)
+		if len(res) != 1 || res[0].ID != id {
+			t.Fatalf("insert %d not retrievable: got %v", id, res)
+		}
+	}
+	if idx.Len() != 130 {
+		t.Fatalf("len = %d, want 130", idx.Len())
+	}
+
+	// All nodes remain reachable from the navigating node.
+	visited := map[int32]bool{idx.nav: true}
+	queue := []int32{idx.nav}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range idx.nbrs[v] {
+			if !visited[u] {
+				visited[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(visited) != idx.Len() {
+		t.Errorf("only %d/%d reachable after inserts", len(visited), idx.Len())
+	}
+}
+
+func TestInsertRejectsDuplicatesAndBadDims(t *testing.T) {
+	idx := Build(map[hetgraph.NodeID]vec.Vector{1: {1, 0}}, Config{Refine: true})
+	if err := idx.Insert(1, vec.Vector{0, 1}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if err := idx.Insert(2, vec.Vector{0, 1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestInsertDuplicateGeometry(t *testing.T) {
+	// Exact duplicate vectors can occlude everything; the node must still
+	// become reachable.
+	idx := Build(map[hetgraph.NodeID]vec.Vector{1: {1, 0}, 2: {0, 1}, 3: {1, 1}}, Config{Refine: true})
+	if err := idx.Insert(9, vec.Vector{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := idx.Search(vec.Vector{1, 0}, 2, 0)
+	found := false
+	for _, r := range res {
+		if r.ID == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("duplicate-vector insert unreachable: %v", res)
+	}
+}
+
+func TestIndexSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	embs := clusteredEmbeddings(rng, 8, 10, 6)
+	idx := Build(embs, Config{Refine: true, Seed: 2})
+
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != idx.Len() || loaded.NavigatingNode() != idx.NavigatingNode() ||
+		loaded.NumEdges() != idx.NumEdges() {
+		t.Fatal("shape changed after round trip")
+	}
+	// Identical search results.
+	for i := 0; i < 10; i++ {
+		q := embs[hetgraph.NodeID(rng.Intn(len(embs)))]
+		a, _ := idx.Search(q, 5, 0)
+		b, _ := loaded.Search(q, 5, 0)
+		if len(a) != len(b) {
+			t.Fatal("result sizes differ")
+		}
+		for j := range a {
+			if a[j].ID != b[j].ID {
+				t.Fatalf("result %d differs: %v vs %v", j, a[j], b[j])
+			}
+		}
+	}
+	// A loaded index accepts inserts.
+	if err := loaded.Insert(hetgraph.NodeID(5000), embs[loaded.NavigatingNode()].Clone()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadIndexRejectsCorruptData(t *testing.T) {
+	if _, err := ReadIndex(strings.NewReader("junk")); err == nil {
+		t.Error("junk accepted")
+	}
+	if _, err := ReadIndex(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestRemoveHidesFromResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	embs := randomEmbeddings(rng, 80, 8)
+	idx := Build(embs, Config{Refine: true, Seed: 1})
+
+	victim := hetgraph.NodeID(7)
+	if err := idx.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.Remove(victim); err == nil {
+		t.Error("double remove accepted")
+	}
+	if idx.Len() != 79 {
+		t.Errorf("Len = %d, want 79", idx.Len())
+	}
+	if f := idx.DeadFraction(); f <= 0 || f >= 0.05 {
+		t.Errorf("DeadFraction = %v", f)
+	}
+	// Searching with the victim's own embedding must not return it.
+	res, _ := idx.Search(embs[victim], 10, 0)
+	for _, r := range res {
+		if r.ID == victim {
+			t.Fatal("tombstoned paper returned")
+		}
+	}
+	if len(res) != 10 {
+		t.Errorf("results shrank to %d", len(res))
+	}
+}
+
+func TestRemovedSlotsStillRoute(t *testing.T) {
+	// Tombstone a whole cluster's interior; its neighbours must remain
+	// reachable through the dead slots.
+	rng := rand.New(rand.NewSource(12))
+	embs := clusteredEmbeddings(rng, 6, 12, 8)
+	idx := Build(embs, Config{Refine: true, Seed: 2})
+	for i := 0; i < 20; i++ {
+		if err := idx.Remove(hetgraph.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := embs[hetgraph.NodeID(30)]
+	res, _ := idx.Search(q, 10, 0)
+	if len(res) != 10 {
+		t.Fatalf("got %d results after heavy removal", len(res))
+	}
+	for _, r := range res {
+		if r.ID < 20 {
+			t.Fatal("tombstoned paper returned")
+		}
+	}
+}
+
+func TestCompactDropsTombstones(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	embs := randomEmbeddings(rng, 60, 8)
+	idx := Build(embs, Config{Refine: true, Seed: 3})
+	for i := 0; i < 15; i++ {
+		if err := idx.Remove(hetgraph.NodeID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	idx.Compact(Config{Refine: true, Seed: 3})
+	if idx.Len() != 45 || idx.DeadFraction() != 0 {
+		t.Fatalf("after compact: len %d, dead %v", idx.Len(), idx.DeadFraction())
+	}
+	res, _ := idx.Search(embs[hetgraph.NodeID(30)], 5, 0)
+	if len(res) != 5 || res[0].ID != 30 {
+		t.Errorf("post-compact search broken: %v", res)
+	}
+	// Compacted index accepts new inserts.
+	if err := idx.Insert(hetgraph.NodeID(500), embs[hetgraph.NodeID(30)].Clone()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveSurvivesSerialization(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	embs := randomEmbeddings(rng, 40, 6)
+	idx := Build(embs, Config{Refine: true, Seed: 4})
+	if err := idx.Remove(hetgraph.NodeID(5)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 39 {
+		t.Fatalf("loaded Len = %d, want 39", loaded.Len())
+	}
+	res, _ := loaded.Search(embs[hetgraph.NodeID(5)], 5, 0)
+	for _, r := range res {
+		if r.ID == 5 {
+			t.Fatal("tombstone lost in serialisation")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package pgindex
+
+import (
+	"fmt"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/vec"
+)
+
+// vecVector keeps Compact readable without importing vec at each use.
+type vecVector = vec.Vector
+
+// Remove tombstones a paper: it disappears from search results immediately
+// while its slot keeps routing traffic (the standard proximity-graph
+// deletion strategy — cutting the node out eagerly would fragment the
+// graph). Call Compact once DeadFraction grows past a threshold the caller
+// chooses (~0.2 works well) to rebuild without the tombstones.
+func (idx *Index) Remove(id hetgraph.NodeID) error {
+	dense, ok := idx.pos[id]
+	if !ok {
+		return fmt.Errorf("pgindex: paper %d not indexed", id)
+	}
+	if idx.dead == nil {
+		idx.dead = make([]bool, len(idx.ids))
+	}
+	for len(idx.dead) < len(idx.ids) {
+		idx.dead = append(idx.dead, false)
+	}
+	idx.dead[dense] = true
+	idx.numDead++
+	delete(idx.pos, id)
+	return nil
+}
+
+// DeadFraction returns the share of tombstoned slots.
+func (idx *Index) DeadFraction() float64 {
+	if len(idx.ids) == 0 {
+		return 0
+	}
+	return float64(idx.numDead) / float64(len(idx.ids))
+}
+
+// Compact rebuilds the index over the live papers only, dropping
+// tombstones. cfg follows the same defaults as Build.
+func (idx *Index) Compact(cfg Config) {
+	live := make(map[hetgraph.NodeID]vecVector, len(idx.ids)-idx.numDead)
+	for i, id := range idx.ids {
+		if !idx.isDead(int32(i)) {
+			live[id] = idx.embs[i]
+		}
+	}
+	*idx = *Build(live, cfg)
+}
+
+// isDead reports whether the dense slot is tombstoned.
+func (idx *Index) isDead(i int32) bool {
+	return idx.dead != nil && int(i) < len(idx.dead) && idx.dead[i]
+}

@@ -1,0 +1,96 @@
+package pgindex
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/vec"
+)
+
+// indexPersist is the gob on-disk form of an Index.
+type indexPersist struct {
+	IDs     []hetgraph.NodeID
+	Dim     int
+	Embs    []float64 // row-major, len(IDs) x Dim
+	Nbrs    [][]int32
+	Nav     int32
+	Entries []int32
+	Dead    []bool
+	NumDead int
+}
+
+// WriteTo serialises the index, embeddings included, so the online stage
+// can load it without re-running NNDescent and refinement.
+func (idx *Index) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	p := indexPersist{IDs: idx.ids, Nbrs: idx.nbrs, Nav: idx.nav, Entries: idx.entries, Dead: idx.dead, NumDead: idx.numDead}
+	if len(idx.embs) > 0 {
+		p.Dim = idx.embs[0].Dim()
+		p.Embs = make([]float64, 0, len(idx.embs)*p.Dim)
+		for _, e := range idx.embs {
+			p.Embs = append(p.Embs, e...)
+		}
+	}
+	cw := &countingWriter{w: bw}
+	if err := gob.NewEncoder(cw).Encode(&p); err != nil {
+		return cw.n, fmt.Errorf("pgindex: write: %w", err)
+	}
+	return cw.n, bw.Flush()
+}
+
+// ReadIndex deserialises an index written by WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	var p indexPersist
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("pgindex: read: %w", err)
+	}
+	if len(p.Nbrs) != len(p.IDs) {
+		return nil, fmt.Errorf("pgindex: read: %d adjacency lists for %d nodes", len(p.Nbrs), len(p.IDs))
+	}
+	if p.Dim > 0 && len(p.Embs) != len(p.IDs)*p.Dim {
+		return nil, fmt.Errorf("pgindex: read: %d weights for %d x %d", len(p.Embs), len(p.IDs), p.Dim)
+	}
+	if len(p.IDs) > 0 && (p.Nav < 0 || int(p.Nav) >= len(p.IDs)) {
+		return nil, fmt.Errorf("pgindex: read: navigating node %d out of range", p.Nav)
+	}
+	idx := &Index{
+		ids:     p.IDs,
+		nbrs:    p.Nbrs,
+		nav:     p.Nav,
+		entries: p.Entries,
+		pos:     make(map[hetgraph.NodeID]int32, len(p.IDs)),
+		dead:    p.Dead,
+		numDead: p.NumDead,
+	}
+	for i, id := range p.IDs {
+		if !idx.isDead(int32(i)) {
+			idx.pos[id] = int32(i)
+		}
+	}
+	idx.embs = make([]vec.Vector, len(p.IDs))
+	for i := range idx.embs {
+		idx.embs[i] = vec.Vector(p.Embs[i*p.Dim : (i+1)*p.Dim])
+	}
+	for i, nbrs := range p.Nbrs {
+		for _, nb := range nbrs {
+			if nb < 0 || int(nb) >= len(p.IDs) {
+				return nil, fmt.Errorf("pgindex: read: node %d has out-of-range neighbour %d", i, nb)
+			}
+		}
+	}
+	return idx, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

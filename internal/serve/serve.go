@@ -1,0 +1,246 @@
+// Package serve exposes a built expert-finding engine over HTTP: the
+// online stage of the paper (§IV) as a long-lived service. The handlers
+// are safe for concurrent use — the engine is read-only after Build.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"expertfind/internal/core"
+	"expertfind/internal/hetgraph"
+)
+
+// Server wraps an engine with HTTP handlers.
+type Server struct {
+	engine *core.Engine
+	mux    *http.ServeMux
+	// defaults for m and n when the request omits them.
+	DefaultM, DefaultN int
+	// MaxM and MaxN bound per-request work.
+	MaxM, MaxN int
+}
+
+// New returns a server over a built engine with sensible bounds.
+func New(engine *core.Engine) *Server {
+	s := &Server{
+		engine:   engine,
+		mux:      http.NewServeMux(),
+		DefaultM: 200,
+		DefaultN: 10,
+		MaxM:     5000,
+		MaxN:     500,
+	}
+	s.mux.HandleFunc("/experts", s.handleExperts)
+	s.mux.HandleFunc("/papers", s.handlePapers)
+	s.mux.HandleFunc("/similar", s.handleSimilar)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ListenAndServe blocks serving on addr.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return srv.ListenAndServe()
+}
+
+// ExpertResult is one expert in an /experts response.
+type ExpertResult struct {
+	Rank   int     `json:"rank"`
+	ID     int32   `json:"id"`
+	Name   string  `json:"name"`
+	Score  float64 `json:"score"`
+	Papers int     `json:"papers"`
+}
+
+// ExpertsResponse is the /experts payload.
+type ExpertsResponse struct {
+	Query      string         `json:"query"`
+	Experts    []ExpertResult `json:"experts"`
+	ResponseMs float64        `json:"response_ms"`
+	Candidates int            `json:"candidates"`
+	TADepth    int            `json:"ta_depth"`
+}
+
+func (s *Server) handleExperts(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	n, err := s.intParam(r, "n", s.DefaultN, s.MaxN)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m, err := s.intParam(r, "m", s.DefaultM, s.MaxM)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	ranked, st := s.engine.TopExperts(q, m, n)
+	g := s.engine.Graph()
+	resp := ExpertsResponse{
+		Query:      q,
+		ResponseMs: float64(st.Total().Microseconds()) / 1000,
+		Candidates: st.TA.Candidates,
+		TADepth:    st.TA.Depth,
+		Experts:    make([]ExpertResult, 0, len(ranked)),
+	}
+	for i, e := range ranked {
+		resp.Experts = append(resp.Experts, ExpertResult{
+			Rank:   i + 1,
+			ID:     int32(e.Expert),
+			Name:   g.Label(e.Expert),
+			Score:  e.Score,
+			Papers: len(g.PapersOf(e.Expert)),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+// PaperResult is one paper in a /papers response.
+type PaperResult struct {
+	Rank    int      `json:"rank"`
+	ID      int32    `json:"id"`
+	Text    string   `json:"text"`
+	Authors []string `json:"authors"`
+}
+
+func (s *Server) handlePapers(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	m, err := s.intParam(r, "m", s.DefaultN, s.MaxM)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	papers, _ := s.engine.RetrievePapers(q, m)
+	g := s.engine.Graph()
+	out := make([]PaperResult, 0, len(papers))
+	for i, p := range papers {
+		pr := PaperResult{Rank: i + 1, ID: int32(p), Text: truncate(g.Label(p), 120)}
+		for _, a := range g.AuthorsOf(p) {
+			pr.Authors = append(pr.Authors, g.Label(a))
+		}
+		out = append(out, pr)
+	}
+	writeJSON(w, out)
+}
+
+// handleSimilar returns the papers most similar to an already-indexed
+// paper, by its node id — the related-work lookup the embeddings support
+// directly.
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get("id")
+	if raw == "" {
+		http.Error(w, "missing id parameter", http.StatusBadRequest)
+		return
+	}
+	id64, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		http.Error(w, "id must be an integer node id", http.StatusBadRequest)
+		return
+	}
+	id := hetgraph.NodeID(id64)
+	emb, ok := s.engine.Embeddings[id]
+	if !ok {
+		http.Error(w, "unknown paper id", http.StatusNotFound)
+		return
+	}
+	m, err := s.intParam(r, "m", s.DefaultN, s.MaxM)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	g := s.engine.Graph()
+	var out []PaperResult
+	rank := 0
+	idx := s.engine.Index()
+	if idx == nil {
+		http.Error(w, "index disabled on this engine", http.StatusServiceUnavailable)
+		return
+	}
+	res, _ := idx.Search(emb, m+1, 0) // +1: the paper itself ranks first
+	for _, rr := range res {
+		if rr.ID == id {
+			continue
+		}
+		rank++
+		pr := PaperResult{Rank: rank, ID: int32(rr.ID), Text: truncate(g.Label(rr.ID), 120)}
+		for _, a := range g.AuthorsOf(rr.ID) {
+			pr.Authors = append(pr.Authors, g.Label(a))
+		}
+		out = append(out, pr)
+		if rank == m {
+			break
+		}
+	}
+	writeJSON(w, out)
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Papers     int   `json:"papers"`
+	Experts    int   `json:"experts"`
+	VocabSize  int   `json:"vocab_size"`
+	IndexEdges int   `json:"index_edges"`
+	IndexBytes int64 `json:"index_bytes"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	g := s.engine.Graph()
+	st := s.engine.Stats()
+	writeJSON(w, HealthResponse{
+		Papers:     g.NumNodesOfType(hetgraph.Paper),
+		Experts:    g.NumNodesOfType(hetgraph.Author),
+		VocabSize:  st.VocabSize,
+		IndexEdges: st.IndexEdges,
+		IndexBytes: st.IndexMemory,
+	})
+}
+
+func (s *Server) intParam(r *http.Request, name string, def, max int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("parameter %s must be a positive integer", name)
+	}
+	if v > max {
+		return 0, fmt.Errorf("parameter %s exceeds the maximum %d", name, max)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

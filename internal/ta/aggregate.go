@@ -1,0 +1,100 @@
+package ta
+
+import "sort"
+
+// This file holds the generic threshold-algorithm core: an NRA-style
+// aggregation over m descending-sorted score lists, independent of graphs
+// and expert semantics. TopExperts adapts it to the paper's setting; tests
+// can drive it with hand-built lists like the paper's Figure 6/Example 5.
+
+// ListEntry is one (key, score) pair of a ranked list. Keys are dense
+// candidate indices assigned by the caller.
+type ListEntry struct {
+	Key   int32
+	Score float64
+}
+
+// KeyScore is one aggregated result.
+type KeyScore struct {
+	Key   int32
+	Score float64
+}
+
+// Aggregate returns the n keys with the largest summed scores across the
+// lists, assuming every list is sorted descending by score and scores are
+// non-negative (absent keys contribute zero — the S(a,p)=0 convention).
+// numKeys bounds the key space; exact(key) must return the key's true
+// total, and is only called for keys whose accumulated sum is incomplete
+// when the threshold test fires (Theorem 2).
+//
+// Results are sorted by score descending, ties by key ascending. Stats
+// reports the sorted accesses performed and whether the scan stopped
+// before exhausting the lists.
+func Aggregate(lists [][]ListEntry, numKeys, n int, exact func(int32) float64) ([]KeyScore, Stats) {
+	st := Stats{Candidates: numKeys}
+	if n <= 0 || len(lists) == 0 || numKeys == 0 {
+		return nil, st
+	}
+
+	acc := make([]float64, numKeys)
+	seen := make([]bool, numKeys)
+	seenLists := make([][]int32, numKeys)
+	occur := make([]int32, numKeys)
+	for _, l := range lists {
+		for _, e := range l {
+			occur[e.Key]++
+		}
+	}
+	frontier := make([]float64, len(lists))
+
+	maxDepth := 0
+	for _, l := range lists {
+		if len(l) > maxDepth {
+			maxDepth = len(l)
+		}
+	}
+
+	depth := 0
+	for depth < maxDepth {
+		for j, l := range lists {
+			if depth < len(l) {
+				e := l[depth]
+				st.SortedAccesses++
+				acc[e.Key] += e.Score
+				seen[e.Key] = true
+				seenLists[e.Key] = append(seenLists[e.Key], int32(j))
+				frontier[j] = e.Score
+			} else {
+				frontier[j] = 0
+			}
+		}
+		depth++
+		st.Depth = depth
+		if terminated(acc, seen, seenLists, frontier, n) {
+			st.EarlyTermination = depth < maxDepth
+			break
+		}
+	}
+
+	out := make([]KeyScore, 0, numKeys)
+	for k := int32(0); int(k) < numKeys; k++ {
+		if !seen[k] {
+			continue
+		}
+		score := acc[k]
+		if int32(len(seenLists[k])) != occur[k] {
+			score = exact(k)
+		}
+		out = append(out, KeyScore{Key: k, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, st
+}

@@ -1,0 +1,163 @@
+package ta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteAggregate is the reference: sum every key's scores, sort, cut.
+func bruteAggregate(lists [][]ListEntry, numKeys, n int) []KeyScore {
+	acc := make([]float64, numKeys)
+	present := make([]bool, numKeys)
+	for _, l := range lists {
+		for _, e := range l {
+			acc[e.Key] += e.Score
+			present[e.Key] = true
+		}
+	}
+	var out []KeyScore
+	for k := int32(0); int(k) < numKeys; k++ {
+		if present[k] {
+			out = append(out, KeyScore{Key: k, Score: acc[k]})
+		}
+	}
+	sortKeyScores(out)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func sortKeyScores(out []KeyScore) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if b.Score > a.Score || (b.Score == a.Score && b.Key < a.Key) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// exactFor builds the random-access oracle from the lists themselves.
+func exactFor(lists [][]ListEntry, numKeys int) func(int32) float64 {
+	acc := make([]float64, numKeys)
+	for _, l := range lists {
+		for _, e := range l {
+			acc[e.Key] += e.Score
+		}
+	}
+	return func(k int32) float64 { return acc[k] }
+}
+
+// TestAggregateWalkthrough drives the generic TA with a hand-built
+// instance in the spirit of the paper's Figure 6 / Example 5: three
+// ranked lists, a dominant pair of experts, early termination.
+func TestAggregateWalkthrough(t *testing.T) {
+	// Keys: 0..4. Lists sorted descending.
+	lists := [][]ListEntry{
+		{{Key: 0, Score: 0.83}, {Key: 1, Score: 0.40}, {Key: 2, Score: 0.05}},
+		{{Key: 3, Score: 0.83}, {Key: 0, Score: 0.45}, {Key: 4, Score: 0.02}},
+		{{Key: 1, Score: 0.71}, {Key: 3, Score: 0.30}, {Key: 2, Score: 0.01}},
+	}
+	got, st := Aggregate(lists, 5, 2, exactFor(lists, 5))
+	want := bruteAggregate(lists, 5, 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key || math.Abs(got[i].Score-want[i].Score) > 1e-12 {
+			t.Fatalf("rank %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if st.Candidates != 5 || st.Depth == 0 {
+		t.Errorf("stats incomplete: %+v", st)
+	}
+}
+
+func TestAggregateEdgeCases(t *testing.T) {
+	if out, _ := Aggregate(nil, 0, 3, nil); out != nil {
+		t.Error("no lists returned results")
+	}
+	if out, _ := Aggregate([][]ListEntry{{{Key: 0, Score: 1}}}, 1, 0, nil); out != nil {
+		t.Error("n=0 returned results")
+	}
+	// Empty individual lists are fine.
+	lists := [][]ListEntry{{}, {{Key: 0, Score: 1}}, {}}
+	out, _ := Aggregate(lists, 1, 5, exactFor(lists, 1))
+	if len(out) != 1 || out[0].Key != 0 || out[0].Score != 1 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+// Property: Aggregate matches the brute-force reference on random
+// instances, for every n.
+func TestAggregateMatchesBrute(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		numKeys := 1 + rng.Intn(40)
+		numLists := 1 + rng.Intn(25)
+		lists := make([][]ListEntry, numLists)
+		for j := range lists {
+			entries := rng.Intn(6)
+			perm := rng.Perm(numKeys)
+			if entries > numKeys {
+				entries = numKeys
+			}
+			l := make([]ListEntry, entries)
+			for i := 0; i < entries; i++ {
+				l[i] = ListEntry{Key: int32(perm[i]), Score: rng.Float64()}
+			}
+			// Sort descending as the contract requires.
+			sortEntriesDesc(l)
+			lists[j] = l
+		}
+		oracle := exactFor(lists, numKeys)
+		for _, n := range []int{1, 2, 5, 50} {
+			got, _ := Aggregate(lists, numKeys, n, oracle)
+			want := bruteAggregate(lists, numKeys, n)
+			if len(got) != len(want) {
+				t.Fatalf("seed %d n=%d: sizes %d vs %d", seed, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Key != want[i].Key || math.Abs(got[i].Score-want[i].Score) > 1e-9 {
+					t.Fatalf("seed %d n=%d rank %d: got %+v, want %+v", seed, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func sortEntriesDesc(l []ListEntry) {
+	for i := 1; i < len(l); i++ {
+		for j := i; j > 0 && l[j].Score > l[j-1].Score; j-- {
+			l[j], l[j-1] = l[j-1], l[j]
+		}
+	}
+}
+
+func TestAggregateEarlyTerminationOnDominantKey(t *testing.T) {
+	// 30 lists, key 0 leads all of them by a wide margin; the tail keys
+	// are all distinct, so TA should stop well before depth 3.
+	var lists [][]ListEntry
+	key := int32(1)
+	for j := 0; j < 30; j++ {
+		lists = append(lists, []ListEntry{
+			{Key: 0, Score: 1.0},
+			{Key: key, Score: 0.01},
+			{Key: key + 1, Score: 0.005},
+		})
+		key += 2
+	}
+	numKeys := int(key + 1)
+	got, st := Aggregate(lists, numKeys, 1, exactFor(lists, numKeys))
+	if len(got) != 1 || got[0].Key != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if !st.EarlyTermination {
+		t.Error("no early termination on a dominated instance")
+	}
+}

@@ -1,0 +1,260 @@
+// Package ta implements §IV-C: expert scoring over the retrieved top-m
+// papers (Eq. 4-6, with Zipf-distributed author-contribution weights) and
+// the threshold-algorithm (TA/NRA) top-n expert finding that terminates
+// without scanning and ranking all candidates. A full-scan ranker is the
+// "w/o TA" baseline of Figure 7. The generic list-aggregation core lives
+// in aggregate.go.
+//
+// Note on polarity: Problem 1 writes arg min R(a), but the score of Eq. 4-6
+// accumulates reciprocal ranks, so larger R means a better expert, and the
+// paper's own TA walkthrough (Example 5) returns the experts with the
+// greatest R. We follow the walkthrough: top-n means the n largest R(a).
+package ta
+
+import (
+	"sort"
+
+	"expertfind/internal/hetgraph"
+)
+
+// Ranking is one returned expert with its ranking score R(a).
+type Ranking struct {
+	Expert hetgraph.NodeID
+	Score  float64
+}
+
+// Stats reports the work done by a TA run, for the efficiency evaluation.
+type Stats struct {
+	// Candidates is |C|, the number of distinct candidate experts.
+	Candidates int
+	// SortedAccesses counts entries read from the ranked lists before
+	// termination.
+	SortedAccesses int
+	// Depth is the list depth reached when the threshold test fired.
+	Depth int
+	// EarlyTermination reports whether TA stopped before exhausting the
+	// lists.
+	EarlyTermination bool
+}
+
+// ContributionWeight returns w(a,p) of Eq. 5 for the author at 1-based
+// rank within a paper having numAuthors authors: a Zipf distribution over
+// author positions, normalised by the harmonic number H(numAuthors).
+func ContributionWeight(rank, numAuthors int) float64 {
+	if rank < 1 || numAuthors < 1 || rank > numAuthors {
+		return 0
+	}
+	return 1 / (float64(rank) * harmonic(numAuthors))
+}
+
+// ExpertScore returns S(a,p) of Eq. 4 for the author at 1-based authorRank
+// of the paper at 1-based paperRank in the retrieved list.
+func ExpertScore(paperRank, authorRank, numAuthors int) float64 {
+	if paperRank < 1 {
+		return 0
+	}
+	return ContributionWeight(authorRank, numAuthors) / float64(paperRank)
+}
+
+func harmonic(n int) float64 {
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// candidateIndex interns expert NodeIDs as dense keys for Aggregate.
+type candidateIndex struct {
+	ids []hetgraph.NodeID
+	idx map[hetgraph.NodeID]int32
+}
+
+func (c *candidateIndex) intern(a hetgraph.NodeID) int32 {
+	if i, ok := c.idx[a]; ok {
+		return i
+	}
+	i := int32(len(c.ids))
+	c.ids = append(c.ids, a)
+	c.idx[a] = i
+	return i
+}
+
+// buildLists materialises the m ranked lists of Figure 6, one per
+// retrieved paper, restricted to experts with non-zero score (a paper's
+// own authors; all other candidates implicitly score zero, exactly the
+// S(a,p_j)=0 convention of the paper). The Zipf weight is strictly
+// decreasing in author rank, so each list is already in descending score
+// order.
+func buildLists(g *hetgraph.Graph, papers []hetgraph.NodeID) ([][]ListEntry, *candidateIndex) {
+	// Assign dense keys in ascending NodeID order so Aggregate's key
+	// tie-break coincides with the package's NodeID tie-break — otherwise
+	// equal-score experts at the top-n boundary could differ from the
+	// full-scan ranking.
+	cands := &candidateIndex{idx: map[hetgraph.NodeID]int32{}}
+	var all []hetgraph.NodeID
+	for _, p := range papers {
+		for _, a := range g.AuthorsOf(p) {
+			if _, ok := cands.idx[a]; !ok {
+				cands.idx[a] = -1 // placeholder
+				all = append(all, a)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	cands.idx = make(map[hetgraph.NodeID]int32, len(all))
+	for _, a := range all {
+		cands.intern(a)
+	}
+
+	lists := make([][]ListEntry, 0, len(papers))
+	for j, p := range papers {
+		authors := g.AuthorsOf(p)
+		l := make([]ListEntry, len(authors))
+		for i, a := range authors {
+			l[i] = ListEntry{Key: cands.idx[a], Score: ExpertScore(j+1, i+1, len(authors))}
+		}
+		lists = append(lists, l)
+	}
+	return lists, cands
+}
+
+// TopExperts runs the TA-based top-n expert finding of §IV-C over the
+// ranked retrieved papers (rank 1 first). It maintains upper and lower
+// bounds of R(a) per visited expert (Eq. 7) and terminates as soon as the
+// n-th largest lower bound is at least every other candidate's upper bound
+// (Theorem 2). The returned experts carry their exact scores, descending.
+func TopExperts(g *hetgraph.Graph, papers []hetgraph.NodeID, n int) ([]Ranking, Stats) {
+	lists, cands := buildLists(g, papers)
+
+	// Random-access scorer for candidates whose accumulated sum is
+	// incomplete at termination: recompute R(a) over their papers. The
+	// rank map is built lazily — TA usually terminates with complete
+	// sums for the winners.
+	var paperRank map[hetgraph.NodeID]int
+	exact := func(key int32) float64 {
+		if paperRank == nil {
+			paperRank = make(map[hetgraph.NodeID]int, len(papers))
+			for j, p := range papers {
+				paperRank[p] = j + 1
+			}
+		}
+		a := cands.ids[key]
+		var r float64
+		for _, p := range g.PapersOf(a) {
+			j, ok := paperRank[p]
+			if !ok {
+				continue
+			}
+			authors := g.AuthorsOf(p)
+			for i, x := range authors {
+				if x == a {
+					r += ExpertScore(j, i+1, len(authors))
+					break
+				}
+			}
+		}
+		return r
+	}
+
+	top, st := Aggregate(lists, len(cands.ids), n, exact)
+	if len(top) == 0 {
+		return nil, st
+	}
+	out := make([]Ranking, len(top))
+	for i, ks := range top {
+		out[i] = Ranking{Expert: cands.ids[ks.Key], Score: ks.Score}
+	}
+	// Aggregate breaks ties by dense key; re-break by NodeID for a stable
+	// public contract.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Expert < out[j].Expert
+	})
+	return out, st
+}
+
+// terminated applies the NRA termination check: LB (the n-th largest lower
+// bound) must be >= UB (the greatest upper bound among all other
+// candidates, including the bound Σ_j frontier_j on never-seen keys).
+func terminated(acc []float64, seen []bool, seenLists [][]int32,
+	frontier []float64, n int) bool {
+	lows := make([]float64, 0, len(acc))
+	for k, lo := range acc {
+		if seen[k] {
+			lows = append(lows, lo)
+		}
+	}
+	if len(lows) < n {
+		return false
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(lows)))
+	lb := lows[n-1]
+
+	// Upper bound of an unseen key: it could sit just below the frontier
+	// of every list.
+	var totalFrontier float64
+	for _, f := range frontier {
+		totalFrontier += f
+	}
+	ub := totalFrontier
+
+	// Identify the provisional top-n: everyone strictly above lb, plus
+	// enough lb-tied keys (smallest first) to fill n slots.
+	above := 0
+	for k, lo := range acc {
+		if seen[k] && lo > lb {
+			above++
+		}
+	}
+	ties := n - above
+
+	// Upper bound of each seen key outside the provisional top-n: its
+	// accumulated part plus the frontier of every list it has not
+	// appeared in, i.e. lo + totalFrontier - Σ_{j seen} frontier_j.
+	for k, lo := range acc {
+		if !seen[k] || lo > lb {
+			continue
+		}
+		if lo == lb && ties > 0 {
+			ties--
+			continue
+		}
+		u := lo + totalFrontier
+		for _, j := range seenLists[k] {
+			u -= frontier[j]
+		}
+		if u > ub {
+			ub = u
+		}
+	}
+	return lb >= ub
+}
+
+// TopExpertsFullScan computes R(a) for every candidate expert of the
+// retrieved papers and returns the n largest — the "w/o TA" baseline.
+func TopExpertsFullScan(g *hetgraph.Graph, papers []hetgraph.NodeID, n int) []Ranking {
+	scores := map[hetgraph.NodeID]float64{}
+	for j, p := range papers {
+		authors := g.AuthorsOf(p)
+		for i, a := range authors {
+			scores[a] += ExpertScore(j+1, i+1, len(authors))
+		}
+	}
+	out := make([]Ranking, 0, len(scores))
+	for a, s := range scores {
+		out = append(out, Ranking{Expert: a, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Expert < out[j].Expert
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

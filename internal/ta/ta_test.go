@@ -1,0 +1,194 @@
+package ta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/hetgraph/testgraph"
+)
+
+func TestContributionWeightZipf(t *testing.T) {
+	// Eq. 5 with 3 authors: H(3) = 1 + 1/2 + 1/3 = 11/6.
+	h3 := 1.0 + 0.5 + 1.0/3
+	for rank, want := range map[int]float64{1: 1 / h3, 2: 1 / (2 * h3), 3: 1 / (3 * h3)} {
+		if got := ContributionWeight(rank, 3); math.Abs(got-want) > 1e-12 {
+			t.Errorf("w(rank %d) = %v, want %v", rank, got, want)
+		}
+	}
+	if ContributionWeight(0, 3) != 0 || ContributionWeight(4, 3) != 0 || ContributionWeight(1, 0) != 0 {
+		t.Error("out-of-range ranks must weigh 0")
+	}
+}
+
+// Property: author contributions of one paper sum to 1 (Zipf normalised
+// by the harmonic number), so papers contribute equally regardless of
+// author count.
+func TestContributionWeightsSumToOne(t *testing.T) {
+	f := func(n uint8) bool {
+		num := int(n%20) + 1
+		var sum float64
+		for r := 1; r <= num; r++ {
+			sum += ContributionWeight(r, num)
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpertScore(t *testing.T) {
+	// S(a,p) = w(a,p)/I(p).
+	w := ContributionWeight(2, 3)
+	if got := ExpertScore(4, 2, 3); math.Abs(got-w/4) > 1e-12 {
+		t.Errorf("ExpertScore = %v, want %v", got, w/4)
+	}
+	if ExpertScore(0, 1, 1) != 0 {
+		t.Error("paper rank 0 must score 0")
+	}
+}
+
+func buildScoredGraph() (*hetgraph.Graph, []hetgraph.NodeID) {
+	g, n := testgraph.Figure2()
+	// Retrieved ranking: p4, p1, p5, p2.
+	return g, []hetgraph.NodeID{n["p4"], n["p1"], n["p5"], n["p2"]}
+}
+
+func TestFullScanScores(t *testing.T) {
+	g, papers := buildScoredGraph()
+	ranked := TopExpertsFullScan(g, papers, 0)
+	if len(ranked) == 0 {
+		t.Fatal("no experts")
+	}
+	// Scores descending.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Score < ranked[i].Score {
+			t.Fatal("full scan not sorted")
+		}
+	}
+	// Recompute one score by hand: a0 is rank-1 author of p4 (2 authors
+	// on p4: a0, a2) at paper rank 1; rank-1 of p1 (authors a0, a1) at
+	// paper rank 2; rank-1 of p2 at paper rank 4.
+	want := ExpertScore(1, 1, 2) + ExpertScore(2, 1, 2) + ExpertScore(4, 1, 2)
+	var a0 hetgraph.NodeID = -1
+	for _, r := range ranked {
+		if g.Label(r.Expert) == "author a0" {
+			a0 = r.Expert
+			if math.Abs(r.Score-want) > 1e-12 {
+				t.Errorf("R(a0) = %v, want %v", r.Score, want)
+			}
+		}
+	}
+	if a0 < 0 {
+		t.Fatal("a0 missing from candidates")
+	}
+}
+
+func TestTAMatchesFullScanOnFigure2(t *testing.T) {
+	g, papers := buildScoredGraph()
+	for n := 1; n <= 6; n++ {
+		taRes, st := TopExperts(g, papers, n)
+		fsRes := TopExpertsFullScan(g, papers, n)
+		if len(taRes) != len(fsRes) {
+			t.Fatalf("n=%d: TA %d experts, full scan %d", n, len(taRes), len(fsRes))
+		}
+		for i := range taRes {
+			if taRes[i].Expert != fsRes[i].Expert ||
+				math.Abs(taRes[i].Score-fsRes[i].Score) > 1e-9 {
+				t.Fatalf("n=%d rank %d: TA %+v != full scan %+v", n, i, taRes[i], fsRes[i])
+			}
+		}
+		if st.Candidates == 0 {
+			t.Error("stats missing candidates")
+		}
+	}
+}
+
+// Property: on random graphs and random retrieved lists, TA returns
+// exactly the full-scan top-n (Theorem 2's correctness), for every n.
+func TestTAMatchesFullScanOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := testgraph.Random(rng, 50, 30, 3, 3)
+		papers := g.NodesOfType(hetgraph.Paper)
+		perm := rng.Perm(len(papers))
+		m := 5 + rng.Intn(20)
+		retrieved := make([]hetgraph.NodeID, m)
+		for i := 0; i < m; i++ {
+			retrieved[i] = papers[perm[i]]
+		}
+		for _, n := range []int{1, 3, 10} {
+			taRes, _ := TopExperts(g, retrieved, n)
+			fsRes := TopExpertsFullScan(g, retrieved, n)
+			if len(taRes) != len(fsRes) {
+				t.Fatalf("seed %d n=%d: sizes differ (%d vs %d)", seed, n, len(taRes), len(fsRes))
+			}
+			for i := range taRes {
+				if taRes[i].Expert != fsRes[i].Expert ||
+					math.Abs(taRes[i].Score-fsRes[i].Score) > 1e-9 {
+					t.Fatalf("seed %d n=%d rank %d: TA %+v != full scan %+v",
+						seed, n, i, taRes[i], fsRes[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTAEarlyTermination(t *testing.T) {
+	// A long retrieved list with a dominant expert: TA should stop before
+	// exhausting the lists.
+	g := hetgraph.New()
+	star := g.AddNode(hetgraph.Author, "star")
+	var retrieved []hetgraph.NodeID
+	for i := 0; i < 40; i++ {
+		p := g.AddNode(hetgraph.Paper, "")
+		g.MustAddEdge(star, p, hetgraph.Write)
+		// Two co-authors per paper, all distinct.
+		for j := 0; j < 2; j++ {
+			a := g.AddNode(hetgraph.Author, "")
+			g.MustAddEdge(a, p, hetgraph.Write)
+		}
+		retrieved = append(retrieved, p)
+	}
+	res, st := TopExperts(g, retrieved, 1)
+	if len(res) != 1 || res[0].Expert != star {
+		t.Fatalf("top expert = %+v, want the star author", res)
+	}
+	if !st.EarlyTermination {
+		t.Error("TA did not terminate early on a dominated instance")
+	}
+	if st.Depth >= 3 {
+		t.Errorf("TA depth = %d, expected to stop within a couple of rounds", st.Depth)
+	}
+}
+
+func TestTAEdgeCases(t *testing.T) {
+	g, papers := buildScoredGraph()
+	if res, _ := TopExperts(g, papers, 0); res != nil {
+		t.Error("n=0 returned experts")
+	}
+	if res, _ := TopExperts(g, nil, 5); res != nil {
+		t.Error("no retrieved papers returned experts")
+	}
+	// n larger than the candidate pool returns everyone.
+	res, _ := TopExperts(g, papers, 100)
+	fs := TopExpertsFullScan(g, papers, 100)
+	if len(res) != len(fs) {
+		t.Errorf("overshoot n: TA %d vs full scan %d", len(res), len(fs))
+	}
+}
+
+func TestPaperWithNoAuthors(t *testing.T) {
+	g := hetgraph.New()
+	p := g.AddNode(hetgraph.Paper, "orphan")
+	a := g.AddNode(hetgraph.Author, "x")
+	p2 := g.AddNode(hetgraph.Paper, "authored")
+	g.MustAddEdge(a, p2, hetgraph.Write)
+	res, _ := TopExperts(g, []hetgraph.NodeID{p, p2}, 5)
+	if len(res) != 1 || res[0].Expert != a {
+		t.Errorf("res = %+v", res)
+	}
+}

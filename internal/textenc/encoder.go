@@ -1,0 +1,282 @@
+package textenc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"strings"
+
+	"expertfind/internal/vec"
+)
+
+// Pooling selects the feature-extraction strategy Φ_P of Eq. 2.
+type Pooling uint8
+
+const (
+	// MeanPooling averages token vectors, IDF-weighted (the paper's default;
+	// §III-C adopts mean pooling for its better performance).
+	MeanPooling Pooling = iota
+	// MaxPooling takes the component-wise maximum over token vectors.
+	MaxPooling
+)
+
+// String names the pooling strategy.
+func (p Pooling) String() string {
+	switch p {
+	case MeanPooling:
+		return "mean"
+	case MaxPooling:
+		return "max"
+	default:
+		return fmt.Sprintf("Pooling(%d)", uint8(p))
+	}
+}
+
+// Encoder is the document encoder of Eq. 2: Φ_B maps each token to a row of
+// a trainable embedding table (the parameters Θ_B), and Φ_P pools the rows
+// into the document representation v_p. A fresh encoder is "pre-trained":
+// every row is deterministically initialised from a hash of its token's
+// surface form, so documents sharing subwords are already close before any
+// fine-tuning — the property the frozen SBERT/SciBERT baselines rely on.
+type Encoder struct {
+	vocab   *Vocab
+	tok     *Tokenizer
+	Emb     *vec.Matrix // token embedding table Θ_B, vocab.Size() x Dim
+	Dim     int
+	Pooling Pooling
+	// Normalize scales document vectors to unit L2 norm after pooling
+	// (on by default), keeping L2 distances on the scale the triplet
+	// margin c=1 expects, as sentence-encoder practice does.
+	Normalize bool
+	// idf caches per-token IDF weights used by mean pooling.
+	idf []float64
+}
+
+// NewEncoder returns a pre-trained encoder of dimension dim over vocabulary
+// v. seed varies the hash mixing so independent encoders (e.g. per-dataset)
+// are decorrelated while each remains fully deterministic.
+func NewEncoder(v *Vocab, dim int, seed int64) *Encoder {
+	if dim <= 0 {
+		panic(fmt.Sprintf("textenc: non-positive dimension %d", dim))
+	}
+	e := &Encoder{
+		vocab:     v,
+		tok:       NewTokenizer(v),
+		Emb:       vec.NewMatrix(v.Size(), dim),
+		Dim:       dim,
+		Pooling:   MeanPooling,
+		Normalize: true,
+		idf:       make([]float64, v.Size()),
+	}
+	for id := 0; id < v.Size(); id++ {
+		initTokenRow(e.Emb.Row(id), v.Token(TokenID(id)), seed)
+		e.idf[id] = v.IDF(TokenID(id))
+	}
+	return e
+}
+
+// initTokenRow fills a token's pre-trained vector FastText-style: the unit
+// mean of deterministic hash vectors of the surface form and its character
+// 3- and 4-grams. Morphological variants of one stem therefore start out
+// close — the sub-lexical "semantic" knowledge a real pre-trained encoder
+// brings, which bag-of-words baselines lack.
+func initTokenRow(row vec.Vector, token string, seed int64) {
+	surface := strings.TrimPrefix(token, "##")
+	padded := "<" + surface + ">"
+	hashInto(row, token, seed) // the exact form always contributes
+	r := []rune(padded)
+	tmp := vec.New(len(row))
+	for n := 3; n <= 4; n++ {
+		for i := 0; i+n <= len(r); i++ {
+			hashInto(tmp.Zero(), string(r[i:i+n]), seed)
+			row.Add(tmp)
+		}
+	}
+	row.Normalize()
+}
+
+// PretrainDistributional completes the encoder's "pre-training" with a
+// random-indexing pass over the corpus: every document gets a deterministic
+// signature vector, and each token's row accumulates the IDF-weighted
+// signatures of the documents containing it. Tokens with similar document
+// distributions — synonyms, topic-mates, dialect variants — end up with
+// correlated vectors, the distributional semantics a real pre-trained
+// language model brings and that bag-of-words methods lack. The result is
+// blended equally with the character-n-gram initialisation and
+// renormalised.
+func PretrainDistributional(e *Encoder, corpus []string) {
+	acc := vec.NewMatrix(e.vocab.Size(), e.Dim)
+	sig := vec.New(e.Dim)
+	seen := map[TokenID]bool{}
+	for d, doc := range corpus {
+		hashInto(sig, fmt.Sprintf("doc|%d", d), 0x3779B97F4A7C15)
+		clear(seen)
+		for _, id := range e.tok.Tokenize(doc) {
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			acc.Row(int(id)).Axpy(e.idf[id], sig)
+		}
+	}
+	for id := 0; id < e.vocab.Size(); id++ {
+		dist := acc.Row(id)
+		if dist.Norm() == 0 {
+			continue // token unseen in corpus: keep the n-gram prior
+		}
+		dist.Normalize()
+		row := e.Emb.Row(id)
+		row.Scale(0.5).Axpy(0.5, dist).Normalize()
+	}
+}
+
+// SurfaceVector returns the deterministic stem-aware vector of a surface
+// form: the same character-n-gram construction the encoder's rows start
+// from. Baselines that simulate corpus-trained word embeddings share it so
+// that methods differ in how they use structure, not in lexical capability.
+func SurfaceVector(dim int, s string, seed int64) vec.Vector {
+	row := vec.New(dim)
+	initTokenRow(row, s, seed)
+	return row
+}
+
+// hashInto fills dst with the deterministic Gaussian hash vector of s.
+func hashInto(dst vec.Vector, s string, seed int64) {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	rng := rand.New(rand.NewSource(int64(h.Sum64()) ^ seed))
+	sigma := 1 / math.Sqrt(float64(len(dst)))
+	for j := range dst {
+		dst[j] = rng.NormFloat64() * sigma
+	}
+}
+
+// Tokenizer returns the encoder's tokenizer.
+func (e *Encoder) Tokenizer() *Tokenizer { return e.tok }
+
+// Vocab returns the encoder's vocabulary.
+func (e *Encoder) Vocab() *Vocab { return e.vocab }
+
+// Encode maps a document's text to its representation v_p (Eq. 2).
+func (e *Encoder) Encode(text string) vec.Vector {
+	return e.EncodeTokens(e.tok.Tokenize(text))
+}
+
+// EncodeTokens pools the embedding rows of ids into a document vector,
+// normalised when Normalize is set. An empty token list yields the zero
+// vector.
+func (e *Encoder) EncodeTokens(ids []TokenID) vec.Vector {
+	out := e.EncodeTokensRaw(ids)
+	if e.Normalize {
+		out.Normalize()
+	}
+	return out
+}
+
+// EncodeTokensRaw pools without the final normalisation — the trainer uses
+// it to differentiate through the normalisation explicitly.
+func (e *Encoder) EncodeTokensRaw(ids []TokenID) vec.Vector {
+	out := vec.New(e.Dim)
+	if len(ids) == 0 {
+		return out
+	}
+	switch e.Pooling {
+	case MaxPooling:
+		copy(out, e.Emb.Row(int(ids[0])))
+		for _, id := range ids[1:] {
+			row := e.Emb.Row(int(id))
+			for j, x := range row {
+				if x > out[j] {
+					out[j] = x
+				}
+			}
+		}
+	default: // MeanPooling, IDF-weighted
+		ws := e.PoolWeights(ids)
+		for i, id := range ids {
+			out.Axpy(ws[i], e.Emb.Row(int(id)))
+		}
+	}
+	return out
+}
+
+// PoolWeights returns the normalised per-token weights mean pooling applies
+// to ids — the same coefficients the trainer uses to route the document
+// gradient back into individual embedding rows (∂v_p/∂Θ_B rows).
+func (e *Encoder) PoolWeights(ids []TokenID) []float64 {
+	ws := make([]float64, len(ids))
+	var total float64
+	for i, id := range ids {
+		w := 1.0
+		if int(id) < len(e.idf) {
+			w = e.idf[id]
+		}
+		ws[i] = w
+		total += w
+	}
+	if total == 0 {
+		total = 1
+	}
+	for i := range ws {
+		ws[i] /= total
+	}
+	return ws
+}
+
+// Clone returns a deep copy of the encoder sharing the vocabulary but with
+// an independent embedding table, so fine-tuning one copy leaves the
+// pre-trained encoder intact (the "w/o (k,P)-core" ablation needs both).
+func (e *Encoder) Clone() *Encoder {
+	c := *e
+	c.Emb = e.Emb.Clone()
+	return &c
+}
+
+// NumParameters returns the number of trainable parameters in Θ_B.
+func (e *Encoder) NumParameters() int { return len(e.Emb.Data) }
+
+// NewEncoderWithTable builds an encoder over v whose embedding table is
+// the given row-major weight data (vocab.Size() x dim) — the restore path
+// for a fine-tuned Θ_B saved to disk. The data slice is used directly, not
+// copied.
+func NewEncoderWithTable(v *Vocab, dim int, data []float64) (*Encoder, error) {
+	if len(data) != v.Size()*dim {
+		return nil, fmt.Errorf("textenc: table has %d weights, want %d", len(data), v.Size()*dim)
+	}
+	e := &Encoder{
+		vocab:     v,
+		tok:       NewTokenizer(v),
+		Emb:       &vec.Matrix{Rows: v.Size(), Cols: dim, Data: data},
+		Dim:       dim,
+		Pooling:   MeanPooling,
+		Normalize: true,
+		idf:       make([]float64, v.Size()),
+	}
+	for id := 0; id < v.Size(); id++ {
+		e.idf[id] = v.IDF(TokenID(id))
+	}
+	return e, nil
+}
+
+// PoolArgmax returns, for each dimension, the position within ids of the
+// token whose embedding attains the maximum (ties to the earliest token) —
+// the sub-gradient routing max pooling needs. It panics on an empty list.
+func (e *Encoder) PoolArgmax(ids []TokenID) []int {
+	if len(ids) == 0 {
+		panic("textenc: PoolArgmax of no tokens")
+	}
+	arg := make([]int, e.Dim)
+	best := make([]float64, e.Dim)
+	copy(best, e.Emb.Row(int(ids[0])))
+	for i, id := range ids[1:] {
+		row := e.Emb.Row(int(id))
+		for j, x := range row {
+			if x > best[j] {
+				best[j] = x
+				arg[j] = i + 1
+			}
+		}
+	}
+	return arg
+}

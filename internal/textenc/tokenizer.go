@@ -1,0 +1,76 @@
+package textenc
+
+import "math"
+
+// MaxSequenceLength mirrors SciBERT's 512-token input limit; longer
+// documents are truncated (§III-C).
+const MaxSequenceLength = 512
+
+// Tokenizer segments text into vocabulary tokens with greedy
+// longest-match-first WordPiece inference.
+type Tokenizer struct {
+	vocab  *Vocab
+	maxLen int
+}
+
+// NewTokenizer returns a tokenizer over v that truncates output to
+// MaxSequenceLength tokens.
+func NewTokenizer(v *Vocab) *Tokenizer {
+	return &Tokenizer{vocab: v, maxLen: MaxSequenceLength}
+}
+
+// Vocab returns the tokenizer's vocabulary.
+func (t *Tokenizer) Vocab() *Vocab { return t.vocab }
+
+// Tokenize splits text into words and segments each word into vocabulary
+// tokens: a whole-word token if present, otherwise greedy longest-match
+// pieces with "##" continuations, falling back to UnknownToken for
+// unsegmentable words. The output is truncated to the maximum sequence
+// length.
+func (t *Tokenizer) Tokenize(text string) []TokenID {
+	var out []TokenID
+	for _, w := range SplitWords(text) {
+		if len(out) >= t.maxLen {
+			break
+		}
+		out = t.appendWord(out, w)
+	}
+	if len(out) > t.maxLen {
+		out = out[:t.maxLen]
+	}
+	return out
+}
+
+func (t *Tokenizer) appendWord(out []TokenID, w string) []TokenID {
+	if id, ok := t.vocab.ID(w); ok {
+		return append(out, id)
+	}
+	r := []rune(w)
+	start := 0
+	var pieces []TokenID
+	for start < len(r) {
+		matched := false
+		for end := len(r); end > start; end-- {
+			cand := string(r[start:end])
+			if start > 0 {
+				cand = "##" + cand
+			}
+			if id, ok := t.vocab.ID(cand); ok {
+				pieces = append(pieces, id)
+				start = end
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			// Unsegmentable word: represent the whole word as [UNK],
+			// matching WordPiece behaviour.
+			return append(out, UnknownToken)
+		}
+	}
+	return append(out, pieces...)
+}
+
+func logIDF(numDocs, df int) float64 {
+	return math.Log(1 + float64(numDocs)/float64(1+df))
+}

@@ -1,0 +1,253 @@
+// Package textenc implements the document encoder of §III-C as a
+// stdlib-only substitute for SciBERT: a WordPiece-style subword tokenizer
+// whose vocabulary is induced from the corpus, a trainable token-embedding
+// table deterministically initialised from token hashes (the "pre-trained"
+// state, a Johnson-Lindenstrauss sketch of the bag-of-subwords space), IDF
+// token weighting, and the paper's mean/max pooling Φ_P (Eq. 2).
+//
+// The table's rows are the parameters Θ_B that the triplet-loss fine-tuning
+// of internal/train updates, mirroring how the paper fine-tunes SciBERT's
+// weights. See DESIGN.md for why this substitution preserves the behaviours
+// the paper studies.
+package textenc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// TokenID indexes a token in a Vocab. The zero value is the unknown token.
+type TokenID int32
+
+// UnknownToken is the id reserved for out-of-vocabulary pieces that cannot
+// be segmented.
+const UnknownToken TokenID = 0
+
+// Vocab is a WordPiece-style vocabulary: whole words plus "##"-prefixed
+// continuation subwords, induced from a corpus.
+type Vocab struct {
+	tokens []string
+	ids    map[string]TokenID
+	// docFreq[t] counts the corpus documents containing token t at build
+	// time; the encoder turns it into IDF weights.
+	docFreq []int
+	numDocs int
+}
+
+// VocabConfig controls vocabulary induction.
+type VocabConfig struct {
+	// MaxWords caps the number of whole-word tokens (most frequent first).
+	MaxWords int
+	// MaxSubwords caps the number of continuation subwords.
+	MaxSubwords int
+	// MinWordFreq drops words rarer than this from the whole-word set.
+	MinWordFreq int
+}
+
+// DefaultVocabConfig returns the configuration used by the experiments.
+func DefaultVocabConfig() VocabConfig {
+	return VocabConfig{MaxWords: 20000, MaxSubwords: 4000, MinWordFreq: 2}
+}
+
+// BuildVocab induces a vocabulary from the corpus: the most frequent words
+// become whole-word tokens; character pieces (prefix pieces and
+// "##"-continuations of length 1-4 from all words) fill the subword budget
+// so any word segments greedily without hitting UnknownToken in practice.
+func BuildVocab(corpus []string, cfg VocabConfig) *Vocab {
+	if cfg.MaxWords <= 0 {
+		cfg.MaxWords = DefaultVocabConfig().MaxWords
+	}
+	if cfg.MaxSubwords <= 0 {
+		cfg.MaxSubwords = DefaultVocabConfig().MaxSubwords
+	}
+	if cfg.MinWordFreq <= 0 {
+		cfg.MinWordFreq = 1
+	}
+
+	wordFreq := map[string]int{}
+	subFreq := map[string]int{}
+	for _, doc := range corpus {
+		for _, w := range SplitWords(doc) {
+			wordFreq[w]++
+			// Collect candidate pieces: prefixes and ## continuations.
+			for _, piece := range piecesOf(w) {
+				subFreq[piece]++
+			}
+		}
+	}
+
+	v := &Vocab{ids: map[string]TokenID{}}
+	v.add("[UNK]") // id 0
+
+	// Whole words by descending frequency, ties broken lexically.
+	words := topK(wordFreq, cfg.MaxWords, cfg.MinWordFreq)
+	for _, w := range words {
+		v.add(w)
+	}
+	// Always include every single character (as both start and
+	// continuation piece) so segmentation can't fail on known alphabets.
+	for _, doc := range corpus {
+		for _, r := range strings.ToLower(doc) {
+			if unicode.IsLetter(r) || unicode.IsDigit(r) {
+				v.add(string(r))
+				v.add("##" + string(r))
+			}
+		}
+	}
+	for _, s := range topK(subFreq, cfg.MaxSubwords, 1) {
+		v.add(s)
+	}
+
+	// Document frequencies for IDF, counted over the final vocabulary by
+	// re-tokenizing each document.
+	v.docFreq = make([]int, len(v.tokens))
+	tk := &Tokenizer{vocab: v, maxLen: 1 << 30}
+	seen := map[TokenID]bool{}
+	for _, doc := range corpus {
+		clear(seen)
+		for _, id := range tk.Tokenize(doc) {
+			if !seen[id] {
+				seen[id] = true
+				v.docFreq[id]++
+			}
+		}
+		v.numDocs++
+	}
+	return v
+}
+
+// piecesOf returns the WordPiece candidate pieces of a word: prefixes of
+// length 2-6 and continuation pieces ("##"+substring) of length 2-4.
+func piecesOf(w string) []string {
+	r := []rune(w)
+	var out []string
+	for l := 2; l <= 6 && l <= len(r); l++ {
+		out = append(out, string(r[:l]))
+	}
+	for start := 1; start < len(r); start++ {
+		for l := 2; l <= 4 && start+l <= len(r); l++ {
+			out = append(out, "##"+string(r[start:start+l]))
+		}
+	}
+	return out
+}
+
+func topK(freq map[string]int, k, minFreq int) []string {
+	type wf struct {
+		w string
+		f int
+	}
+	all := make([]wf, 0, len(freq))
+	for w, f := range freq {
+		if f >= minFreq {
+			all = append(all, wf{w, f})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].w < all[j].w
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]string, len(all))
+	for i, x := range all {
+		out[i] = x.w
+	}
+	return out
+}
+
+func (v *Vocab) add(tok string) TokenID {
+	if id, ok := v.ids[tok]; ok {
+		return id
+	}
+	id := TokenID(len(v.tokens))
+	v.tokens = append(v.tokens, tok)
+	v.ids[tok] = id
+	return id
+}
+
+// Size returns the number of tokens in the vocabulary.
+func (v *Vocab) Size() int { return len(v.tokens) }
+
+// Token returns the surface form of id.
+func (v *Vocab) Token(id TokenID) string { return v.tokens[id] }
+
+// ID returns the id of tok and whether it is in the vocabulary.
+func (v *Vocab) ID(tok string) (TokenID, bool) {
+	id, ok := v.ids[tok]
+	return id, ok
+}
+
+// IDF returns the inverse document frequency weight of id, computed as
+// ln(1 + N/(1+df)). Tokens never seen at build time get the maximum weight.
+func (v *Vocab) IDF(id TokenID) float64 {
+	if v.numDocs == 0 {
+		return 1
+	}
+	df := 0
+	if int(id) < len(v.docFreq) {
+		df = v.docFreq[id]
+	}
+	return logIDF(v.numDocs, df)
+}
+
+// SplitWords lower-cases text and splits it into maximal runs of letters
+// and digits — the pre-tokenisation step shared by the tokenizer and the
+// lexical baselines (TFIDF, Avg.GloVe-sim).
+func SplitWords(text string) []string {
+	var words []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			words = append(words, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return words
+}
+
+// NumDocs returns the number of corpus documents seen at build time.
+func (v *Vocab) NumDocs() int { return v.numDocs }
+
+// DocFreq returns the document frequency of id recorded at build time.
+func (v *Vocab) DocFreq(id TokenID) int {
+	if int(id) < len(v.docFreq) {
+		return v.docFreq[id]
+	}
+	return 0
+}
+
+// NewVocabFromTokens reconstructs a vocabulary from its serialised parts:
+// the token list in id order plus the document-frequency table. It is the
+// inverse of walking Token/DocFreq over all ids, used when loading a saved
+// engine.
+func NewVocabFromTokens(tokens []string, docFreqs []int, numDocs int) (*Vocab, error) {
+	if len(tokens) == 0 || tokens[0] != "[UNK]" {
+		return nil, fmt.Errorf("textenc: token 0 must be [UNK]")
+	}
+	if len(docFreqs) != len(tokens) {
+		return nil, fmt.Errorf("textenc: %d tokens but %d doc freqs", len(tokens), len(docFreqs))
+	}
+	v := &Vocab{ids: make(map[string]TokenID, len(tokens)), numDocs: numDocs}
+	for _, t := range tokens {
+		if _, dup := v.ids[t]; dup {
+			return nil, fmt.Errorf("textenc: duplicate token %q", t)
+		}
+		v.add(t)
+	}
+	v.docFreq = append([]int(nil), docFreqs...)
+	return v, nil
+}

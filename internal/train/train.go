@@ -1,0 +1,360 @@
+// Package train implements the fine-tuning stage of §III-C: the
+// margin-based triplet loss of Eq. 3 over ⟨p+, p_s, p-⟩ triples, minimised
+// with the Adam optimiser [33] over the encoder's token-embedding
+// parameters Θ_B. Gradients are sparse (only rows of tokens appearing in a
+// batch are touched), so Adam state is applied lazily per row.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/sampling"
+	"expertfind/internal/textenc"
+	"expertfind/internal/vec"
+)
+
+// Config holds the training hyper-parameters. Zero values select defaults:
+// the paper's β1=0.9, β2=0.999, margin c=1, 4 epochs, batch size 64. The
+// learning rate defaults to 0.01 rather than the paper's 2e-5 — the paper's
+// value is tuned for a 110M-parameter transformer, while our substitute
+// table needs larger steps to move in 4 epochs (see DESIGN.md).
+type Config struct {
+	LearningRate float64
+	Beta1, Beta2 float64
+	Epsilon      float64
+	Margin       float64 // c in Eq. 3
+	Epochs       int
+	BatchSize    int
+	// Workers bounds data-parallel gradient computation; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Progress, if non-nil, receives the mean loss after each epoch.
+	Progress func(epoch int, meanLoss float64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	if c.Beta1 <= 0 {
+		c.Beta1 = 0.9
+	}
+	if c.Beta2 <= 0 {
+		c.Beta2 = 0.999
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 1e-8
+	}
+	if c.Margin <= 0 {
+		c.Margin = 1
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 4
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Result reports a fine-tuning run.
+type Result struct {
+	EpochLosses []float64 // mean triplet loss per epoch
+	Steps       int       // optimiser steps taken
+	Triples     int
+}
+
+// TokenCache maps each paper to its tokenised label, computed once so
+// training and embedding never re-tokenize.
+type TokenCache map[hetgraph.NodeID][]textenc.TokenID
+
+// BuildTokenCache tokenises L(p) for every paper of g with enc's
+// tokenizer.
+func BuildTokenCache(g *hetgraph.Graph, enc *textenc.Encoder) TokenCache {
+	papers := g.NodesOfType(hetgraph.Paper)
+	cache := make(TokenCache, len(papers))
+	tk := enc.Tokenizer()
+	for _, p := range papers {
+		cache[p] = tk.Tokenize(g.Label(p))
+	}
+	return cache
+}
+
+// FineTune minimises the triplet loss over triples, updating enc's
+// embedding table in place. Shuffling uses rng, so a fixed seed reproduces
+// the run exactly (worker-parallel gradient sums are merged in
+// deterministic chunk order).
+func FineTune(enc *textenc.Encoder, cache TokenCache, triples []sampling.Triple,
+	cfg Config, rng *rand.Rand) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{Triples: len(triples)}
+	if len(triples) == 0 {
+		return res
+	}
+
+	opt := newAdam(enc.Emb, cfg)
+	order := make([]int, len(triples))
+	for i := range order {
+		order[i] = i
+	}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			batch := order[start:end]
+			grads, loss := batchGradients(enc, cache, triples, batch, cfg)
+			epochLoss += loss
+			if len(grads) > 0 {
+				opt.step(grads)
+				res.Steps++
+			}
+		}
+		mean := epochLoss / float64(len(order))
+		res.EpochLosses = append(res.EpochLosses, mean)
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, mean)
+		}
+	}
+	return res
+}
+
+// batchGradients computes the summed sparse gradient of the batch and its
+// total loss, fanning work across workers.
+func batchGradients(enc *textenc.Encoder, cache TokenCache, triples []sampling.Triple,
+	batch []int, cfg Config) (map[textenc.TokenID]vec.Vector, float64) {
+	workers := cfg.Workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	type partial struct {
+		grads map[textenc.TokenID]vec.Vector
+		loss  float64
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (len(batch) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			p := partial{grads: map[textenc.TokenID]vec.Vector{}}
+			for _, idx := range batch[lo:hi] {
+				p.loss += tripleGradient(enc, cache, triples[idx], cfg.Margin, p.grads)
+			}
+			parts[w] = p
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Merge in chunk order for determinism.
+	total := map[textenc.TokenID]vec.Vector{}
+	var loss float64
+	for _, p := range parts {
+		loss += p.loss
+		for id, gp := range p.grads {
+			if g, ok := total[id]; ok {
+				g.Add(gp)
+			} else {
+				total[id] = gp
+			}
+		}
+	}
+	return total, loss
+}
+
+// tripleGradient accumulates ∂L/∂Θ_B for one triple into grads and returns
+// the triple's loss L = max(δ(v_s,v+) - δ(v_s,v-) + c, 0).
+func tripleGradient(enc *textenc.Encoder, cache TokenCache, t sampling.Triple,
+	margin float64, grads map[textenc.TokenID]vec.Vector) float64 {
+	sTok, pTok, nTok := cache[t.Seed], cache[t.Pos], cache[t.Neg]
+	us := enc.EncodeTokensRaw(sTok)
+	up := enc.EncodeTokensRaw(pTok)
+	un := enc.EncodeTokensRaw(nTok)
+	vs, nvs := normalized(enc, us)
+	vp, nvp := normalized(enc, up)
+	vn, nvn := normalized(enc, un)
+
+	dp := vs.Clone().Sub(vp) // v_s - v_+
+	dn := vs.Clone().Sub(vn) // v_s - v_-
+	np := dp.Norm()
+	nn := dn.Norm()
+	loss := np - nn + margin
+	if loss <= 0 {
+		return 0
+	}
+
+	// ∂δ(v_s,v_+)/∂v_s = (v_s - v_+)/δ; guard zero distances.
+	gs := vec.New(enc.Dim)
+	gp := vec.New(enc.Dim)
+	gn := vec.New(enc.Dim)
+	if np > 0 {
+		gs.Axpy(1/np, dp)
+		gp.Axpy(-1/np, dp)
+	}
+	if nn > 0 {
+		gs.Axpy(-1/nn, dn)
+		gn.Axpy(1/nn, dn)
+	}
+
+	scatter(enc, sTok, throughNorm(enc, gs, vs, nvs), grads)
+	scatter(enc, pTok, throughNorm(enc, gp, vp, nvp), grads)
+	scatter(enc, nTok, throughNorm(enc, gn, vn, nvn), grads)
+	return loss
+}
+
+// normalized returns the (possibly) normalised document vector and the raw
+// pooled norm, matching Encoder.EncodeTokens.
+func normalized(enc *textenc.Encoder, u vec.Vector) (vec.Vector, float64) {
+	n := u.Norm()
+	if !enc.Normalize || n == 0 {
+		return u, n
+	}
+	return u.Clone().Scale(1 / n), n
+}
+
+// throughNorm backpropagates a gradient on the normalised vector v = u/‖u‖
+// to the raw pooled vector u: ∂L/∂u = (g - (g·v)v)/‖u‖.
+func throughNorm(enc *textenc.Encoder, g, v vec.Vector, rawNorm float64) vec.Vector {
+	if !enc.Normalize || rawNorm == 0 {
+		return g
+	}
+	out := g.Clone()
+	out.Axpy(-g.Dot(v), v)
+	return out.Scale(1 / rawNorm)
+}
+
+// scatter routes a document-level gradient into token rows. Under mean
+// pooling every token receives its pooling weight's share
+// (∂v_doc/∂row_t = w_t · I); under max pooling each dimension's gradient
+// goes solely to the token attaining the maximum there (the standard
+// max-pool sub-gradient).
+func scatter(enc *textenc.Encoder, ids []textenc.TokenID, gDoc vec.Vector,
+	grads map[textenc.TokenID]vec.Vector) {
+	if len(ids) == 0 {
+		return
+	}
+	row := func(id textenc.TokenID) vec.Vector {
+		g, ok := grads[id]
+		if !ok {
+			g = vec.New(gDoc.Dim())
+			grads[id] = g
+		}
+		return g
+	}
+	if enc.Pooling == textenc.MaxPooling {
+		arg := enc.PoolArgmax(ids)
+		for j, pos := range arg {
+			row(ids[pos])[j] += gDoc[j]
+		}
+		return
+	}
+	ws := enc.PoolWeights(ids)
+	for i, id := range ids {
+		row(id).Axpy(ws[i], gDoc)
+	}
+}
+
+// adam holds the optimiser state for the embedding table: first and second
+// moment estimates per parameter, updated lazily per touched row with a
+// per-row timestep (standard "lazy Adam" for sparse gradients).
+type adam struct {
+	cfg   Config
+	table *vec.Matrix
+	m, v  *vec.Matrix
+	tRow  []int // per-row step count for bias correction
+}
+
+func newAdam(table *vec.Matrix, cfg Config) *adam {
+	return &adam{
+		cfg:   cfg,
+		table: table,
+		m:     vec.NewMatrix(table.Rows, table.Cols),
+		v:     vec.NewMatrix(table.Rows, table.Cols),
+		tRow:  make([]int, table.Rows),
+	}
+}
+
+// step applies one Adam update for every row with a non-zero gradient.
+func (a *adam) step(grads map[textenc.TokenID]vec.Vector) {
+	c := a.cfg
+	for id, g := range grads {
+		r := int(id)
+		a.tRow[r]++
+		t := float64(a.tRow[r])
+		mRow, vRow, w := a.m.Row(r), a.v.Row(r), a.table.Row(r)
+		bc1 := 1 - math.Pow(c.Beta1, t)
+		bc2 := 1 - math.Pow(c.Beta2, t)
+		for j, gj := range g {
+			mRow[j] = c.Beta1*mRow[j] + (1-c.Beta1)*gj
+			vRow[j] = c.Beta2*vRow[j] + (1-c.Beta2)*gj*gj
+			mHat := mRow[j] / bc1
+			vHat := vRow[j] / bc2
+			w[j] -= c.LearningRate * mHat / (math.Sqrt(vHat) + c.Epsilon)
+		}
+	}
+}
+
+// EmbedAll computes the fine-tuned representation of every paper in cache,
+// in parallel. The result E is the embedding set used by the PG-Index.
+func EmbedAll(enc *textenc.Encoder, cache TokenCache) map[hetgraph.NodeID]vec.Vector {
+	ids := make([]hetgraph.NodeID, 0, len(cache))
+	for id := range cache {
+		ids = append(ids, id)
+	}
+	out := make(map[hetgraph.NodeID]vec.Vector, len(ids))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(ids) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			local := make(map[hetgraph.NodeID]vec.Vector, hi-lo)
+			for _, id := range ids[lo:hi] {
+				local[id] = enc.EncodeTokens(cache[id])
+			}
+			mu.Lock()
+			for k, v := range local {
+				out[k] = v
+			}
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// String renders the result compactly for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("train: %d triples, %d steps, losses %v", r.Triples, r.Steps, r.EpochLosses)
+}

@@ -1,0 +1,275 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/hetgraph/testgraph"
+	"expertfind/internal/sampling"
+	"expertfind/internal/textenc"
+	"expertfind/internal/vec"
+)
+
+// fixture builds a tiny graph, encoder and token cache.
+func fixture(t *testing.T) (*hetgraph.Graph, *textenc.Encoder, TokenCache) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	g := testgraph.Random(rng, 30, 12, 2, 3)
+	var corpus []string
+	for _, p := range g.NodesOfType(hetgraph.Paper) {
+		corpus = append(corpus, g.Label(p))
+	}
+	vocab := textenc.BuildVocab(corpus, textenc.VocabConfig{MinWordFreq: 1})
+	enc := textenc.NewEncoder(vocab, 12, 7)
+	return g, enc, BuildTokenCache(g, enc)
+}
+
+func someTriples(g *hetgraph.Graph, n int) []sampling.Triple {
+	papers := g.NodesOfType(hetgraph.Paper)
+	rng := rand.New(rand.NewSource(9))
+	out := make([]sampling.Triple, n)
+	for i := range out {
+		out[i] = sampling.Triple{
+			Seed: papers[rng.Intn(len(papers))],
+			Pos:  papers[rng.Intn(len(papers))],
+			Neg:  papers[rng.Intn(len(papers))],
+		}
+	}
+	return out
+}
+
+func TestBuildTokenCacheCoversAllPapers(t *testing.T) {
+	g, _, cache := fixture(t)
+	if len(cache) != g.NumNodesOfType(hetgraph.Paper) {
+		t.Fatalf("cache has %d entries, want %d", len(cache), g.NumNodesOfType(hetgraph.Paper))
+	}
+	for p, ids := range cache {
+		if g.Type(p) != hetgraph.Paper {
+			t.Fatal("non-paper in cache")
+		}
+		if len(ids) == 0 {
+			t.Fatalf("paper %d tokenized to nothing", p)
+		}
+	}
+}
+
+func TestFineTuneEmptyTriples(t *testing.T) {
+	_, enc, cache := fixture(t)
+	res := FineTune(enc, cache, nil, Config{}, rand.New(rand.NewSource(1)))
+	if res.Steps != 0 || len(res.EpochLosses) != 0 {
+		t.Error("training on no triples did work")
+	}
+}
+
+func TestFineTuneLossDecreases(t *testing.T) {
+	g, enc, cache := fixture(t)
+	triples := someTriples(g, 120)
+	res := FineTune(enc, cache, triples, Config{Epochs: 6}, rand.New(rand.NewSource(2)))
+	if len(res.EpochLosses) != 6 {
+		t.Fatalf("epochs = %d", len(res.EpochLosses))
+	}
+	first, last := res.EpochLosses[0], res.EpochLosses[len(res.EpochLosses)-1]
+	if !(last < first) {
+		t.Errorf("loss did not decrease: %v", res.EpochLosses)
+	}
+	if res.Steps == 0 || res.Triples != 120 {
+		t.Errorf("result bookkeeping wrong: %+v", res)
+	}
+}
+
+func TestFineTuneDeterministic(t *testing.T) {
+	g, enc, cache := fixture(t)
+	triples := someTriples(g, 60)
+	e1 := enc.Clone()
+	e2 := enc.Clone()
+	FineTune(e1, cache, triples, Config{Epochs: 2, Workers: 4}, rand.New(rand.NewSource(3)))
+	FineTune(e2, cache, triples, Config{Epochs: 2, Workers: 4}, rand.New(rand.NewSource(3)))
+	for i := range e1.Emb.Data {
+		if e1.Emb.Data[i] != e2.Emb.Data[i] {
+			t.Fatal("training not deterministic across runs")
+		}
+	}
+}
+
+func TestFineTunePullsPositivesCloser(t *testing.T) {
+	g, enc, cache := fixture(t)
+	papers := g.NodesOfType(hetgraph.Paper)
+	s, pos, neg := papers[0], papers[1], papers[2]
+	triples := make([]sampling.Triple, 50)
+	for i := range triples {
+		triples[i] = sampling.Triple{Seed: s, Pos: pos, Neg: neg}
+	}
+	before := enc.EncodeTokens(cache[s]).L2(enc.EncodeTokens(cache[pos])) -
+		enc.EncodeTokens(cache[s]).L2(enc.EncodeTokens(cache[neg]))
+	FineTune(enc, cache, triples, Config{Epochs: 4}, rand.New(rand.NewSource(4)))
+	after := enc.EncodeTokens(cache[s]).L2(enc.EncodeTokens(cache[pos])) -
+		enc.EncodeTokens(cache[s]).L2(enc.EncodeTokens(cache[neg]))
+	if !(after < before) {
+		t.Errorf("margin did not improve: before %v, after %v", before, after)
+	}
+}
+
+// TestTripleGradientNumerical verifies the analytic gradient (including
+// the chain rule through pooling and L2 normalisation) against central
+// finite differences on every touched parameter of a small table.
+func TestTripleGradientNumerical(t *testing.T) {
+	g, enc, cache := fixture(t)
+	papers := g.NodesOfType(hetgraph.Paper)
+	tr := sampling.Triple{Seed: papers[0], Pos: papers[3], Neg: papers[5]}
+	const margin = 1.0
+
+	loss := func() float64 {
+		vs := enc.EncodeTokens(cache[tr.Seed])
+		vp := enc.EncodeTokens(cache[tr.Pos])
+		vn := enc.EncodeTokens(cache[tr.Neg])
+		l := vs.L2(vp) - vs.L2(vn) + margin
+		if l < 0 {
+			return 0
+		}
+		return l
+	}
+	if loss() == 0 {
+		t.Skip("fixture triple has zero loss; gradient everywhere zero")
+	}
+
+	grads := map[textenc.TokenID]vec.Vector{}
+	got := tripleGradient(enc, cache, tr, margin, grads)
+	if math.Abs(got-loss()) > 1e-9 {
+		t.Fatalf("returned loss %v != recomputed %v", got, loss())
+	}
+
+	const h = 1e-6
+	checked := 0
+	for id, gv := range grads {
+		row := enc.Emb.Row(int(id))
+		for j := 0; j < len(row); j += 5 { // sample dimensions
+			orig := row[j]
+			row[j] = orig + h
+			lp := loss()
+			row[j] = orig - h
+			lm := loss()
+			row[j] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-gv[j]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("token %d dim %d: analytic %v, numeric %v", id, j, gv[j], num)
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d parameters checked", checked)
+	}
+}
+
+func TestTripleGradientZeroWhenSatisfied(t *testing.T) {
+	g, enc, cache := fixture(t)
+	papers := g.NodesOfType(hetgraph.Paper)
+	// With margin 0 and pos == seed, the loss is -d(s,neg) <= 0.
+	tr := sampling.Triple{Seed: papers[0], Pos: papers[0], Neg: papers[1]}
+	grads := map[textenc.TokenID]vec.Vector{}
+	if l := tripleGradient(enc, cache, tr, 0, grads); l != 0 || len(grads) != 0 {
+		t.Errorf("satisfied triple produced loss %v and %d gradients", l, len(grads))
+	}
+}
+
+func TestEmbedAllMatchesSequential(t *testing.T) {
+	g, enc, cache := fixture(t)
+	embs := EmbedAll(enc, cache)
+	if len(embs) != len(cache) {
+		t.Fatalf("embedded %d papers, want %d", len(embs), len(cache))
+	}
+	for _, p := range g.NodesOfType(hetgraph.Paper) {
+		want := enc.EncodeTokens(cache[p])
+		got := embs[p]
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("parallel embedding of %d differs from sequential", p)
+			}
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Beta1 != 0.9 || c.Beta2 != 0.999 || c.Margin != 1 || c.Epochs != 4 || c.BatchSize != 64 {
+		t.Errorf("paper defaults wrong: %+v", c)
+	}
+	if c.LearningRate <= 0 || c.Workers <= 0 || c.Epsilon <= 0 {
+		t.Errorf("unset defaults: %+v", c)
+	}
+}
+
+func TestAdamStepMovesAgainstGradient(t *testing.T) {
+	table := vec.NewMatrix(2, 3)
+	opt := newAdam(table, Config{}.withDefaults())
+	g := map[textenc.TokenID]vec.Vector{0: {1, -1, 0}}
+	opt.step(g)
+	row := table.Row(0)
+	if !(row[0] < 0 && row[1] > 0 && row[2] == 0) {
+		t.Errorf("Adam step direction wrong: %v", row)
+	}
+	if table.Row(1)[0] != 0 {
+		t.Error("untouched row modified")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := &Result{Triples: 3, Steps: 2, EpochLosses: []float64{0.5}}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestTripleGradientNumericalMaxPooling repeats the finite-difference
+// check under max pooling, whose sub-gradient routes each dimension to a
+// single token.
+func TestTripleGradientNumericalMaxPooling(t *testing.T) {
+	g, enc, cache := fixture(t)
+	enc.Pooling = textenc.MaxPooling
+	papers := g.NodesOfType(hetgraph.Paper)
+	tr := sampling.Triple{Seed: papers[0], Pos: papers[3], Neg: papers[5]}
+	const margin = 1.0
+
+	loss := func() float64 {
+		vs := enc.EncodeTokens(cache[tr.Seed])
+		vp := enc.EncodeTokens(cache[tr.Pos])
+		vn := enc.EncodeTokens(cache[tr.Neg])
+		l := vs.L2(vp) - vs.L2(vn) + margin
+		if l < 0 {
+			return 0
+		}
+		return l
+	}
+	if loss() == 0 {
+		t.Skip("fixture triple has zero loss under max pooling")
+	}
+	grads := map[textenc.TokenID]vec.Vector{}
+	tripleGradient(enc, cache, tr, margin, grads)
+
+	const h = 1e-6
+	checked := 0
+	for id, gv := range grads {
+		row := enc.Emb.Row(int(id))
+		for j := 0; j < len(row); j += 4 {
+			if gv[j] == 0 {
+				continue // not the argmax of dimension j: sub-gradient zero
+			}
+			orig := row[j]
+			row[j] = orig + h
+			lp := loss()
+			row[j] = orig - h
+			lm := loss()
+			row[j] = orig
+			num := (lp - lm) / (2 * h)
+			if diff := num - gv[j]; diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("token %d dim %d: analytic %v, numeric %v", id, j, gv[j], num)
+			}
+			checked++
+		}
+	}
+	if checked < 5 {
+		t.Skipf("only %d parameters checked (sparse argmax overlap)", checked)
+	}
+}

@@ -1,0 +1,63 @@
+package vec
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix. Rows are addressable as Vectors that
+// share storage with the matrix, which is what the trainer relies on to
+// update token-embedding rows in place.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vec: negative matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Row returns row i as a Vector sharing storage with m.
+func (m *Matrix) Row(i int) Vector {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("vec: row %d out of range [0,%d)", i, m.Rows))
+	}
+	return Vector(m.Data[i*m.Cols : (i+1)*m.Cols])
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// FillGaussian fills m with N(0, sigma²) samples from rng.
+func (m *Matrix) FillGaussian(rng *rand.Rand, sigma float64) {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * sigma
+	}
+}
+
+// MulVec computes y = m * x for a column vector x of length Cols,
+// returning a new vector of length Rows.
+func (m *Matrix) MulVec(x Vector) Vector {
+	if x.Dim() != m.Cols {
+		panic(fmt.Sprintf("vec: mulvec dim %d != cols %d", x.Dim(), m.Cols))
+	}
+	y := New(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		y[i] = m.Row(i).Dot(x)
+	}
+	return y
+}
