@@ -6,12 +6,16 @@
 //
 //	GET /experts?q=<text>&n=<count>&m=<papers>  -> JSON expert ranking
 //	GET /papers?q=<text>&m=<count>              -> JSON paper retrieval
+//	GET /similar?id=<paper>&m=<count>           -> JSON related papers
 //	GET /healthz                                -> build statistics
+//	GET /metrics                                -> Prometheus text metrics
+//	GET /debug/vars                             -> JSON metrics snapshot
+//	GET /debug/pprof/*                          -> profiling (with -pprof)
 //
 // Usage:
 //
 //	expertserve -dataset aminer -papers 1000 -addr :8080
-//	expertserve -graph g.json -engine engine.bin -addr :8080
+//	expertserve -graph g.json -engine engine.bin -addr :8080 -pprof
 package main
 
 import (
@@ -22,21 +26,41 @@ import (
 	"expertfind/internal/cli"
 	"expertfind/internal/core"
 	"expertfind/internal/hetgraph"
+	"expertfind/internal/obs"
+	"expertfind/internal/pgindex"
 	"expertfind/internal/serve"
+	"expertfind/internal/ta"
+	"expertfind/internal/train"
 )
 
 func main() {
 	var (
-		graphFile  = flag.String("graph", "", "JSON graph file (from datagen)")
-		engineFile = flag.String("engine", "", "saved engine file (from a previous -save)")
-		saveFile   = flag.String("save", "", "save the built engine to this file and continue serving")
-		preset     = flag.String("dataset", "aminer", "built-in preset when -graph is not given")
-		papers     = flag.Int("papers", 1000, "preset size in papers")
-		dim        = flag.Int("dim", 64, "embedding dimension")
-		seed       = flag.Int64("seed", 7, "random seed")
-		addr       = flag.String("addr", ":8080", "listen address")
+		graphFile   = flag.String("graph", "", "JSON graph file (from datagen)")
+		engineFile  = flag.String("engine", "", "saved engine file (from a previous -save)")
+		saveFile    = flag.String("save", "", "save the built engine to this file and continue serving")
+		preset      = flag.String("dataset", "aminer", "built-in preset when -graph is not given")
+		papers      = flag.Int("papers", 1000, "preset size in papers")
+		dim         = flag.Int("dim", 64, "embedding dimension")
+		seed        = flag.Int64("seed", 7, "random seed")
+		addr        = flag.String("addr", ":8080", "listen address")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		enablePprof = flag.Bool("pprof", false, "mount profiling handlers under /debug/pprof/")
 	)
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fail(err)
+	}
+	logger := obs.NewLogger(os.Stderr, lvl)
+
+	// Wire the metrics sinks before the build so the offline phases
+	// (sampling, training epochs, indexing) are recorded too.
+	reg := obs.Default()
+	obs.RegisterWellKnown(reg)
+	pgindex.SetSink(reg)
+	ta.SetSink(reg)
+	train.SetSink(reg)
 
 	g, err := cli.LoadGraph(*graphFile, *preset, *papers)
 	if err != nil {
@@ -54,13 +78,24 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Fprintf(os.Stderr, "loaded engine from %s\n", *engineFile)
+		logger.Info("engine_loaded", "file", *engineFile)
 	} else {
-		fmt.Fprintf(os.Stderr, "building engine over %d papers...\n", g.NumNodesOfType(hetgraph.Paper))
+		logger.Info("build_start", "papers", g.NumNodesOfType(hetgraph.Paper),
+			"dim", *dim, "seed", *seed)
 		engine, err = core.Build(g, core.Options{Dim: *dim, Seed: *seed})
 		if err != nil {
 			fail(err)
 		}
+		st := engine.Stats()
+		logger.Info("build_done",
+			"total", st.TotalTime,
+			"sampling", st.CommunityTime,
+			"training", st.TrainTime,
+			"embedding", st.EmbedTime,
+			"indexing", st.IndexTime,
+			"vocab", st.VocabSize,
+			"index_edges", st.IndexEdges,
+		)
 	}
 	if *saveFile != "" {
 		f, err := os.Create(*saveFile)
@@ -71,11 +106,16 @@ func main() {
 			fail(err)
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "saved engine to %s\n", *saveFile)
+		logger.Info("engine_saved", "file", *saveFile)
 	}
 
 	srv := serve.New(engine)
-	fmt.Fprintf(os.Stderr, "serving on %s\n", *addr)
+	srv.Log = logger
+	if *enablePprof {
+		srv.EnablePprof()
+		logger.Info("pprof_enabled", "path", "/debug/pprof/")
+	}
+	logger.Info("serving", "addr", *addr)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fail(err)
 	}

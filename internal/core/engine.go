@@ -7,11 +7,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"expertfind/internal/hetgraph"
+	"expertfind/internal/obs"
 	"expertfind/internal/pgindex"
 	"expertfind/internal/sampling"
 	"expertfind/internal/ta"
@@ -63,6 +66,9 @@ type Options struct {
 	Seed int64
 	// VocabConfig tunes vocabulary induction.
 	Vocab textenc.VocabConfig
+	// Metrics receives build-phase spans and online query counters; nil
+	// selects the process-wide obs.Default() registry.
+	Metrics *obs.Registry
 }
 
 func boolOpt(p *bool, def bool) bool {
@@ -129,20 +135,27 @@ type Engine struct {
 	Embeddings map[hetgraph.NodeID]vec.Vector
 	index      *pgindex.Index
 	stats      BuildStats
+	reg        *obs.Registry
 }
 
 // Build runs the offline pipeline over g: vocabulary induction,
 // pre-trained encoding, (k,P)-core community sampling, triplet fine-tuning,
-// embedding of all papers, and PG-Index construction.
+// embedding of all papers, and PG-Index construction. Each phase runs
+// under an obs span, so its duration lands both in BuildStats and in the
+// registry's expertfind_stage_seconds histogram (stage="build/...").
 func Build(g *hetgraph.Graph, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	if g.NumNodesOfType(hetgraph.Paper) == 0 {
 		return nil, fmt.Errorf("core: graph has no papers")
 	}
-	start := time.Now()
-	e := &Engine{g: g, opts: opts}
+	e := &Engine{g: g, opts: opts, reg: opts.Metrics}
+	if e.reg == nil {
+		e.reg = obs.Default()
+	}
+	ctx, root := obs.StartSpan(obs.WithRegistry(context.Background(), e.reg), "build")
 
 	// Vocabulary + pre-trained encoder.
+	_, sp := obs.StartSpan(ctx, "pretrain")
 	corpus := make([]string, 0, g.NumNodesOfType(hetgraph.Paper))
 	for _, p := range g.NodesOfType(hetgraph.Paper) {
 		corpus = append(corpus, g.Label(p))
@@ -153,10 +166,11 @@ func Build(g *hetgraph.Graph, opts Options) (*Engine, error) {
 	e.enc.Pooling = opts.Pooling
 	e.cache = train.BuildTokenCache(g, e.enc)
 	e.stats.VocabSize = vocab.Size()
+	sp.End()
 
 	// Offline stage 1: (k,P)-core communities and training triples.
 	if boolOpt(opts.UseKPCore, true) {
-		t0 := time.Now()
+		_, sp = obs.StartSpan(ctx, "sampling")
 		rng := rand.New(rand.NewSource(opts.Seed))
 		triples, rep := sampling.Generate(g, sampling.Config{
 			Fraction:            opts.SampleFraction,
@@ -168,33 +182,48 @@ func Build(g *hetgraph.Graph, opts Options) (*Engine, error) {
 			UseCoreIndex:        opts.FastSampling,
 		}, rng)
 		e.stats.Sampling = rep
-		e.stats.CommunityTime = time.Since(t0)
+		e.stats.CommunityTime = sp.End()
+		e.reg.Counter("expertfind_build_triples_sampled_total",
+			"Training triples produced by (k,P)-core sampling.").Add(float64(len(triples)))
 
 		// Offline stage 2: triplet-loss fine-tuning (Eq. 3).
-		t0 = time.Now()
+		_, sp = obs.StartSpan(ctx, "training")
 		e.stats.Training = train.FineTune(e.enc, e.cache, triples, opts.Train,
 			rand.New(rand.NewSource(opts.Seed+1)))
-		e.stats.TrainTime = time.Since(t0)
+		e.stats.TrainTime = sp.End()
 	}
 
 	// Offline stage 3: embed all papers, build the PG-Index.
-	t0 := time.Now()
+	_, sp = obs.StartSpan(ctx, "embedding")
 	e.Embeddings = train.EmbedAll(e.enc, e.cache)
-	e.stats.EmbedTime = time.Since(t0)
+	e.stats.EmbedTime = sp.End()
+	e.reg.Counter("expertfind_build_papers_embedded_total",
+		"Papers embedded by offline builds.").Add(float64(len(e.Embeddings)))
 
 	if boolOpt(opts.UsePGIndex, true) {
-		t0 = time.Now()
+		_, sp = obs.StartSpan(ctx, "indexing")
 		e.index = pgindex.Build(e.Embeddings, opts.Index)
-		e.stats.IndexTime = time.Since(t0)
+		e.stats.IndexTime = sp.End()
 		e.stats.IndexEdges = e.index.NumEdges()
 		e.stats.IndexMemory = e.index.MemoryBytes()
 	}
-	e.stats.TotalTime = time.Since(start)
+	e.stats.TotalTime = root.End()
+
+	e.reg.Counter("expertfind_builds_total", "Offline engine builds completed.").Inc()
+	e.reg.Gauge("expertfind_vocab_size", "Vocabulary size of the built encoder.").
+		Set(float64(e.stats.VocabSize))
+	e.reg.Gauge("expertfind_index_edges", "Directed proximity edges in the PG-Index.").
+		Set(float64(e.stats.IndexEdges))
+	e.reg.Gauge("expertfind_index_bytes", "Estimated resident size of the PG-Index.").
+		Set(float64(e.stats.IndexMemory))
 	return e, nil
 }
 
 // Stats returns the build statistics.
 func (e *Engine) Stats() BuildStats { return e.stats }
+
+// Metrics returns the registry the engine records into (never nil).
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
 // Graph returns the underlying heterogeneous graph.
 func (e *Engine) Graph() *hetgraph.Graph { return e.g }
@@ -219,16 +248,30 @@ type QueryStats struct {
 // Total returns the end-to-end response time of the query.
 func (s QueryStats) Total() time.Duration { return s.EncodeTime + s.RetrieveTime + s.RankTime }
 
-// RetrievePapers returns the top-m papers semantically similar to the
-// query text (§IV-B), via the PG-Index or, when disabled, a brute-force
-// scan.
-func (e *Engine) RetrievePapers(query string, m int) ([]hetgraph.NodeID, QueryStats) {
-	var st QueryStats
-	t0 := time.Now()
-	qv := e.enc.Encode(query)
-	st.EncodeTime = time.Since(t0)
+// startQuery opens the root span of one online request.
+func (e *Engine) startQuery() (context.Context, *obs.Span) {
+	return obs.StartSpan(obs.WithRegistry(context.Background(), e.reg), "query")
+}
 
-	t0 = time.Now()
+// finishQuery closes the root span and records the request in the
+// registry's query counters and latency histogram.
+func (e *Engine) finishQuery(root *obs.Span, st QueryStats) {
+	root.End()
+	e.reg.Counter("expertfind_queries_total", "Online queries answered.").Inc()
+	e.reg.Histogram("expertfind_query_seconds",
+		"End-to-end online query latency.", nil).Observe(st.Total().Seconds())
+}
+
+// retrievePapers is the span-instrumented retrieval stage shared by the
+// public entry points. The encode and retrieve spans populate QueryStats,
+// so Total() is by construction the sum of the span durations.
+func (e *Engine) retrievePapers(ctx context.Context, query string, m int) ([]hetgraph.NodeID, QueryStats) {
+	var st QueryStats
+	_, sp := obs.StartSpan(ctx, "encode")
+	qv := e.enc.Encode(query)
+	st.EncodeTime = sp.End()
+
+	_, sp = obs.StartSpan(ctx, "retrieve")
 	var ids []hetgraph.NodeID
 	if e.index != nil {
 		st.UsedPGIndex = true
@@ -245,7 +288,17 @@ func (e *Engine) RetrievePapers(query string, m int) ([]hetgraph.NodeID, QuerySt
 			ids[i] = r.ID
 		}
 	}
-	st.RetrieveTime = time.Since(t0)
+	st.RetrieveTime = sp.End()
+	return ids, st
+}
+
+// RetrievePapers returns the top-m papers semantically similar to the
+// query text (§IV-B), via the PG-Index or, when disabled, a brute-force
+// scan.
+func (e *Engine) RetrievePapers(query string, m int) ([]hetgraph.NodeID, QueryStats) {
+	ctx, root := e.startQuery()
+	ids, st := e.retrievePapers(ctx, query, m)
+	e.finishQuery(root, st)
 	return ids, st
 }
 
@@ -253,8 +306,9 @@ func (e *Engine) RetrievePapers(query string, m int) ([]hetgraph.NodeID, QuerySt
 // candidate experts, and return the top-n by ranking score — through the
 // threshold algorithm by default, or a full scan when disabled.
 func (e *Engine) TopExperts(query string, m, n int) ([]ta.Ranking, QueryStats) {
-	papers, st := e.RetrievePapers(query, m)
-	t0 := time.Now()
+	ctx, root := e.startQuery()
+	papers, st := e.retrievePapers(ctx, query, m)
+	_, sp := obs.StartSpan(ctx, "rank")
 	var experts []ta.Ranking
 	if boolOpt(e.opts.UseTA, true) {
 		st.UsedTA = true
@@ -262,8 +316,51 @@ func (e *Engine) TopExperts(query string, m, n int) ([]ta.Ranking, QueryStats) {
 	} else {
 		experts = ta.TopExpertsFullScan(e.g, papers, n)
 	}
-	st.RankTime = time.Since(t0)
+	st.RankTime = sp.End()
+	e.finishQuery(root, st)
 	return experts, st
+}
+
+// Errors returned by SimilarPapers.
+var (
+	// ErrUnknownPaper reports an id with no indexed embedding.
+	ErrUnknownPaper = errors.New("core: unknown paper id")
+	// ErrNoIndex reports that the engine was built without a PG-Index.
+	ErrNoIndex = errors.New("core: PG-Index disabled on this engine")
+)
+
+// SimilarPapers returns the m papers nearest to an already-indexed paper,
+// excluding the paper itself — the related-work lookup behind /similar.
+// The search honours the engine's configured EF option, exactly like
+// query retrieval.
+func (e *Engine) SimilarPapers(id hetgraph.NodeID, m int) ([]hetgraph.NodeID, QueryStats, error) {
+	emb, ok := e.Embeddings[id]
+	if !ok {
+		return nil, QueryStats{}, ErrUnknownPaper
+	}
+	if e.index == nil {
+		return nil, QueryStats{}, ErrNoIndex
+	}
+	ctx, root := e.startQuery()
+	var st QueryStats
+	_, sp := obs.StartSpan(ctx, "retrieve")
+	st.UsedPGIndex = true
+	// +1: the paper itself ranks first in its own neighbourhood.
+	var res []pgindex.Result
+	res, st.Search = e.index.Search(emb, m+1, e.opts.EF)
+	ids := make([]hetgraph.NodeID, 0, m)
+	for _, r := range res {
+		if r.ID == id {
+			continue
+		}
+		ids = append(ids, r.ID)
+		if len(ids) == m {
+			break
+		}
+	}
+	st.RetrieveTime = sp.End()
+	e.finishQuery(root, st)
+	return ids, st, nil
 }
 
 // EncodeQuery exposes the query representation v_T, which the experiment

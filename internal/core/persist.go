@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"expertfind/internal/hetgraph"
+	"expertfind/internal/obs"
 	"expertfind/internal/pgindex"
 	"expertfind/internal/sampling"
 	"expertfind/internal/textenc"
@@ -123,7 +124,7 @@ func Load(r io.Reader, g *hetgraph.Graph) (*Engine, error) {
 		return nil, err
 	}
 
-	e := &Engine{g: g, opts: opts, enc: enc}
+	e := &Engine{g: g, opts: opts, enc: enc, reg: obs.Default()}
 	e.cache = train.BuildTokenCache(g, enc)
 	e.Embeddings = train.EmbedAll(enc, e.cache)
 	e.stats.VocabSize = len(p.Tokens)

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// ParseLevel maps a flag value ("debug", "info", "warn", "error") to a
+// Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("obs: unknown log level %q", s)
+}
+
+type logField struct {
+	key string
+	val interface{}
+}
+
+// Logger emits one key=value line per event:
+//
+//	ts=2026-08-06T10:11:12.123Z level=info msg=access route=/experts status=200
+//
+// Values containing spaces, quotes or '=' are quoted. Loggers derived
+// with With share the parent's writer and serialise on one mutex, so
+// concurrent handlers never interleave bytes within a line.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  Level
+	fields []logField
+	now    func() time.Time // injectable for tests
+}
+
+// NewLogger returns a logger writing events at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, now: time.Now}
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library code, so importing packages stay silent unless wired.
+func NopLogger() *Logger { return NewLogger(io.Discard, LevelError+1) }
+
+// With returns a logger that appends the given key/value pairs (given
+// alternating) to every line. The derived logger shares the writer lock.
+func (l *Logger) With(kv ...interface{}) *Logger {
+	d := &Logger{mu: l.mu, w: l.w, level: l.level, now: l.now}
+	d.fields = append(append([]logField(nil), l.fields...), pairs(kv)...)
+	return d
+}
+
+// Enabled reports whether events at lvl would be written.
+func (l *Logger) Enabled(lvl Level) bool { return lvl >= l.level }
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, kv ...interface{}) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...interface{}) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...interface{}) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...interface{}) { l.log(LevelError, msg, kv) }
+
+func pairs(kv []interface{}) []logField {
+	out := make([]logField, 0, (len(kv)+1)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprint(kv[i])
+		}
+		out = append(out, logField{k, kv[i+1]})
+	}
+	if len(kv)%2 == 1 {
+		out = append(out, logField{"EXTRA", kv[len(kv)-1]})
+	}
+	return out
+}
+
+func (l *Logger) log(lvl Level, msg string, kv []interface{}) {
+	if !l.Enabled(lvl) {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format("2006-01-02T15:04:05.000Z"))
+	b.WriteString(" level=")
+	b.WriteString(lvl.String())
+	b.WriteString(" msg=")
+	b.WriteString(quote(msg))
+	for _, f := range append(l.fields, pairs(kv)...) {
+		b.WriteByte(' ')
+		b.WriteString(f.key)
+		b.WriteByte('=')
+		b.WriteString(quote(fmt.Sprint(f.val)))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+func quote(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}
+
+// reqCounter backs the request-ID fallback when crypto/rand fails.
+var reqCounter atomic.Uint64
+
+// NewRequestID returns a 16-hex-character id for correlating one
+// request's log lines, response header and traces.
+func NewRequestID() string {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return fmt.Sprintf("req-%016x", reqCounter.Add(1))
+	}
+	return hex.EncodeToString(buf[:])
+}

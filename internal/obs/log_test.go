@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2026, 8, 6, 10, 0, 0, 123e6, time.UTC)
+}
+
+func TestLoggerFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo)
+	l.now = fixedNow
+	l.Info("access", "route", "/experts", "status", 200, "q", "deep learning")
+	got := b.String()
+	want := `ts=2026-08-06T10:00:00.123Z level=info msg=access route=/experts status=200 q="deep learning"` + "\n"
+	if got != want {
+		t.Errorf("line mismatch:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 ||
+		!strings.Contains(lines[0], "level=warn") ||
+		!strings.Contains(lines[1], "level=error") {
+		t.Errorf("level filtering wrong: %q", b.String())
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelInfo) {
+		t.Error("Enabled wrong")
+	}
+}
+
+func TestLoggerWithFields(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo)
+	l.now = fixedNow
+	req := l.With("req_id", "abc123")
+	req.Info("start")
+	req.Info("done", "status", 200)
+	for _, line := range strings.SplitAfter(strings.TrimSpace(b.String()), "\n") {
+		if !strings.Contains(line, "req_id=abc123") {
+			t.Errorf("line missing bound field: %q", line)
+		}
+	}
+}
+
+func TestLoggerOddPairsAndQuoting(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo)
+	l.Info(`say "hi"`, "dangling")
+	got := b.String()
+	if !strings.Contains(got, `msg="say \"hi\""`) {
+		t.Errorf("msg not quoted: %q", got)
+	}
+	if !strings.Contains(got, "EXTRA=dangling") {
+		t.Errorf("odd trailing value dropped: %q", got)
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	safe := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	l := NewLogger(safe, LevelInfo)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Info("m", "k", "v")
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	mu.Unlock()
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "ts=") || !strings.HasSuffix(line, "k=v") {
+			t.Fatalf("interleaved line: %q", line)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestRequestIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "WARN": LevelWarn, "error": LevelError, "": LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

@@ -1,0 +1,31 @@
+// Package obs is the observability layer of the expert-finding system:
+// a concurrency-safe metrics registry with Prometheus text exposition
+// (registry.go), lightweight hierarchical trace spans that time pipeline
+// phases (span.go), and a levelled key=value structured logger with
+// request IDs (log.go). Everything is standard library only.
+//
+// Metric naming follows the Prometheus conventions under a single
+// `expertfind_` prefix: counters end in `_total`, durations are histograms
+// in seconds ending in `_seconds`, and bounded label sets (route, code,
+// stage) keep cardinality small. All span durations land in one histogram
+// family, `expertfind_stage_seconds{stage="<span path>"}`, so the offline
+// build phases and the online query stages share an exposition schema.
+package obs
+
+import "sync"
+
+var (
+	defaultMu  sync.Mutex
+	defaultReg *Registry
+)
+
+// Default returns the process-wide registry, creating it on first use.
+// Library code that is not handed an explicit registry records here.
+func Default() *Registry {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	if defaultReg == nil {
+		defaultReg = NewRegistry()
+	}
+	return defaultReg
+}

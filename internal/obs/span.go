@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span times one named phase of work. Spans form a hierarchy: starting a
+// span under a context that already carries one makes it a child, and its
+// full name becomes "parent/child" — e.g. "build/sampling". Ending a span
+// records its duration into the attached registry's
+// expertfind_stage_seconds histogram, labelled by the full name, so every
+// pipeline phase is scrapeable without bespoke per-phase metrics.
+type Span struct {
+	name  string
+	start time.Time
+	reg   *Registry
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+type ctxKey int
+
+const (
+	spanKey ctxKey = iota
+	registryKey
+)
+
+// WithRegistry attaches reg to ctx; spans started under it (and their
+// descendants) record their durations there. A nil reg disables
+// recording while keeping the timing behaviour.
+func WithRegistry(ctx context.Context, reg *Registry) context.Context {
+	return context.WithValue(ctx, registryKey, reg)
+}
+
+// StartSpan begins a span named name under ctx and returns a derived
+// context carrying it, so nested StartSpan calls become children. The
+// clock starts immediately; call End (or EndIfOpen) exactly when the
+// phase finishes.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	s := &Span{name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanKey).(*Span); ok && parent != nil {
+		s.name = parent.name + "/" + name
+		s.reg = parent.reg
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	} else if reg, ok := ctx.Value(registryKey).(*Registry); ok {
+		s.reg = reg
+	}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// End stops the span's clock, records the duration into the registry
+// (first call only; End is idempotent), and returns the duration.
+func (s *Span) End() time.Duration {
+	s.mu.Lock()
+	if s.ended {
+		d := s.dur
+		s.mu.Unlock()
+		return d
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	d := s.dur
+	reg := s.reg
+	s.mu.Unlock()
+	if reg != nil {
+		reg.Histogram("expertfind_stage_seconds",
+			"Duration of pipeline stages, labelled by span path.",
+			nil, L("stage", s.name)).Observe(d.Seconds())
+	}
+	return d
+}
+
+// Name returns the span's full hierarchical name.
+func (s *Span) Name() string { return s.name }
+
+// Duration returns the recorded duration, or the running time if the
+// span has not ended.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Children returns the directly nested spans, in start order.
+func (s *Span) Children() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Child returns the first direct child whose last path segment is name,
+// or nil.
+func (s *Span) Child(name string) *Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.children {
+		if c.name == s.name+"/"+name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenTotal sums the durations of all direct children — the portion
+// of the span accounted for by named sub-phases.
+func (s *Span) ChildrenTotal() time.Duration {
+	var t time.Duration
+	for _, c := range s.Children() {
+		t += c.Duration()
+	}
+	return t
+}

@@ -1,0 +1,30 @@
+package obs
+
+// RegisterWellKnown pre-registers the metric families fed through the
+// pipeline sinks (pgindex, ta, train), fixing their types and help text
+// before the first measurement arrives — otherwise Observe would
+// auto-register everything as a help-less counter. Idempotent; call it
+// wherever a registry is wired to sinks.
+func RegisterWellKnown(r *Registry) {
+	for name, help := range map[string]string{
+		"expertfind_pgindex_searches_total":              "PG-Index greedy searches executed.",
+		"expertfind_pgindex_hops_total":                  "PG-Index node expansions (search hops) across all searches.",
+		"expertfind_pgindex_nodes_visited_total":         "PG-Index nodes visited across all searches.",
+		"expertfind_pgindex_distance_computations_total": "Distance computations across all PG-Index searches.",
+		"expertfind_ta_runs_total":                       "Threshold-algorithm rankings executed.",
+		"expertfind_ta_candidates_total":                 "Candidate experts considered across all TA runs.",
+		"expertfind_ta_depth_total":                      "Ranked-list depth reached across all TA runs.",
+		"expertfind_ta_sorted_accesses_total":            "Sorted accesses performed across all TA runs.",
+		"expertfind_ta_early_terminations_total":         "TA runs that stopped before exhausting the lists.",
+		"expertfind_train_runs_total":                    "Fine-tuning runs completed.",
+		"expertfind_train_epochs_total":                  "Fine-tuning epochs completed.",
+		"expertfind_train_epoch_seconds_total":           "Cumulative wall time spent in training epochs.",
+		"expertfind_train_triples_total":                 "Training triples consumed by fine-tuning runs.",
+		"expertfind_train_steps_total":                   "Optimiser steps taken by fine-tuning runs.",
+	} {
+		r.Counter(name, help)
+	}
+	r.Gauge("expertfind_train_loss", "Mean triplet loss of the most recent training epoch.")
+	r.declare("expertfind_stage_seconds",
+		"Duration of pipeline stages, labelled by span path.", histogramKind, nil)
+}

@@ -326,6 +326,7 @@ func (idx *Index) SearchEx(query vec.Vector, m, ef int, multiEntry bool) ([]Resu
 	if len(res) > m {
 		res = res[:m]
 	}
+	st.record()
 	return res, st
 }
 

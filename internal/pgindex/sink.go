@@ -1,0 +1,40 @@
+package pgindex
+
+import "sync/atomic"
+
+// Sink receives named measurements from every Search, so a long-lived
+// service can aggregate hop/visit counts across requests without the
+// index depending on any metrics implementation (obs.Registry satisfies
+// the interface). SearchStats remains the per-call report.
+type Sink interface {
+	Observe(name string, v float64)
+}
+
+// sinkBox wraps the interface so atomic.Value always stores one concrete
+// type.
+type sinkBox struct{ s Sink }
+
+var sinkHolder atomic.Value
+
+// SetSink installs the package-wide measurement sink; nil disables
+// recording. Safe to call concurrently with searches.
+func SetSink(s Sink) { sinkHolder.Store(sinkBox{s}) }
+
+func currentSink() Sink {
+	if b, ok := sinkHolder.Load().(sinkBox); ok {
+		return b.s
+	}
+	return nil
+}
+
+// record forwards one search's stats to the sink, if installed.
+func (st SearchStats) record() {
+	s := currentSink()
+	if s == nil {
+		return
+	}
+	s.Observe("expertfind_pgindex_searches_total", 1)
+	s.Observe("expertfind_pgindex_hops_total", float64(st.Expansions))
+	s.Observe("expertfind_pgindex_nodes_visited_total", float64(st.NodesVisited))
+	s.Observe("expertfind_pgindex_distance_computations_total", float64(st.DistanceComputations))
+}

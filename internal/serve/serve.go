@@ -1,10 +1,18 @@
 // Package serve exposes a built expert-finding engine over HTTP: the
 // online stage of the paper (§IV) as a long-lived service. The handlers
 // are safe for concurrent use — the engine is read-only after Build.
+//
+// Every request passes through the observability middleware
+// (middleware.go): request-ID assignment, an access log line, per-route
+// latency histograms, status-code counters and an in-flight gauge, all
+// recorded in the engine's obs.Registry and scrapeable at /metrics (with
+// a JSON mirror at /debug/vars and opt-in pprof under /debug/pprof/).
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -12,37 +20,56 @@ import (
 
 	"expertfind/internal/core"
 	"expertfind/internal/hetgraph"
+	"expertfind/internal/obs"
+	"expertfind/internal/pgindex"
+	"expertfind/internal/ta"
+	"expertfind/internal/train"
 )
 
 // Server wraps an engine with HTTP handlers.
 type Server struct {
 	engine *core.Engine
 	mux    *http.ServeMux
+	reg    *obs.Registry
+	// Log receives one structured access line per request; NopLogger by
+	// default so library use stays silent. Replace before serving.
+	Log *obs.Logger
 	// defaults for m and n when the request omits them.
 	DefaultM, DefaultN int
 	// MaxM and MaxN bound per-request work.
 	MaxM, MaxN int
 }
 
-// New returns a server over a built engine with sensible bounds.
+// New returns a server over a built engine with sensible bounds. The
+// server records into the engine's metrics registry and installs that
+// registry as the measurement sink of the pipeline packages, so PG-Index
+// and TA work counters aggregate across requests.
 func New(engine *core.Engine) *Server {
 	s := &Server{
 		engine:   engine,
 		mux:      http.NewServeMux(),
+		reg:      engine.Metrics(),
+		Log:      obs.NopLogger(),
 		DefaultM: 200,
 		DefaultN: 10,
 		MaxM:     5000,
 		MaxN:     500,
 	}
+	obs.RegisterWellKnown(s.reg)
+	pgindex.SetSink(s.reg)
+	ta.SetSink(s.reg)
+	train.SetSink(s.reg)
 	s.mux.HandleFunc("/experts", s.handleExperts)
 	s.mux.HandleFunc("/papers", s.handlePapers)
 	s.mux.HandleFunc("/similar", s.handleSimilar)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/vars", s.handleDebugVars)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// Registry returns the metrics registry the server records into.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ListenAndServe blocks serving on addr.
 func (s *Server) ListenAndServe(addr string) error {
@@ -107,7 +134,7 @@ func (s *Server) handleExperts(w http.ResponseWriter, r *http.Request) {
 			Papers: len(g.PapersOf(e.Expert)),
 		})
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // PaperResult is one paper in a /papers response.
@@ -116,6 +143,15 @@ type PaperResult struct {
 	ID      int32    `json:"id"`
 	Text    string   `json:"text"`
 	Authors []string `json:"authors"`
+}
+
+func (s *Server) paperResult(rank int, p hetgraph.NodeID) PaperResult {
+	g := s.engine.Graph()
+	pr := PaperResult{Rank: rank, ID: int32(p), Text: truncate(g.Label(p), 120)}
+	for _, a := range g.AuthorsOf(p) {
+		pr.Authors = append(pr.Authors, g.Label(a))
+	}
+	return pr
 }
 
 func (s *Server) handlePapers(w http.ResponseWriter, r *http.Request) {
@@ -130,21 +166,17 @@ func (s *Server) handlePapers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	papers, _ := s.engine.RetrievePapers(q, m)
-	g := s.engine.Graph()
 	out := make([]PaperResult, 0, len(papers))
 	for i, p := range papers {
-		pr := PaperResult{Rank: i + 1, ID: int32(p), Text: truncate(g.Label(p), 120)}
-		for _, a := range g.AuthorsOf(p) {
-			pr.Authors = append(pr.Authors, g.Label(a))
-		}
-		out = append(out, pr)
+		out = append(out, s.paperResult(i+1, p))
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 // handleSimilar returns the papers most similar to an already-indexed
 // paper, by its node id — the related-work lookup the embeddings support
-// directly.
+// directly. The search goes through the engine so the configured EF
+// search-pool option applies, exactly as it does for /experts.
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	raw := r.URL.Query().Get("id")
 	if raw == "" {
@@ -156,41 +188,28 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "id must be an integer node id", http.StatusBadRequest)
 		return
 	}
-	id := hetgraph.NodeID(id64)
-	emb, ok := s.engine.Embeddings[id]
-	if !ok {
-		http.Error(w, "unknown paper id", http.StatusNotFound)
-		return
-	}
 	m, err := s.intParam(r, "m", s.DefaultN, s.MaxM)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	g := s.engine.Graph()
-	var out []PaperResult
-	rank := 0
-	idx := s.engine.Index()
-	if idx == nil {
+	ids, _, err := s.engine.SimilarPapers(hetgraph.NodeID(id64), m)
+	switch {
+	case errors.Is(err, core.ErrUnknownPaper):
+		http.Error(w, "unknown paper id", http.StatusNotFound)
+		return
+	case errors.Is(err, core.ErrNoIndex):
 		http.Error(w, "index disabled on this engine", http.StatusServiceUnavailable)
 		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
-	res, _ := idx.Search(emb, m+1, 0) // +1: the paper itself ranks first
-	for _, rr := range res {
-		if rr.ID == id {
-			continue
-		}
-		rank++
-		pr := PaperResult{Rank: rank, ID: int32(rr.ID), Text: truncate(g.Label(rr.ID), 120)}
-		for _, a := range g.AuthorsOf(rr.ID) {
-			pr.Authors = append(pr.Authors, g.Label(a))
-		}
-		out = append(out, pr)
-		if rank == m {
-			break
-		}
+	out := make([]PaperResult, 0, len(ids))
+	for i, p := range ids {
+		out = append(out, s.paperResult(i+1, p))
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
 // HealthResponse is the /healthz payload.
@@ -205,7 +224,7 @@ type HealthResponse struct {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	g := s.engine.Graph()
 	st := s.engine.Stats()
-	writeJSON(w, HealthResponse{
+	s.writeJSON(w, HealthResponse{
 		Papers:     g.NumNodesOfType(hetgraph.Paper),
 		Experts:    g.NumNodesOfType(hetgraph.Author),
 		VocabSize:  st.VocabSize,
@@ -229,18 +248,32 @@ func (s *Server) intParam(r *http.Request, name string, def, max int) (int, erro
 	return v, nil
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
+// writeJSON encodes v into a buffer first, so an encoding failure can
+// still produce a clean 500 — writing through the encoder directly would
+// have already committed the 200 header and part of the body.
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.reg.Counter("expertfind_http_encode_failures_total",
+			"Responses dropped because JSON encoding failed.").Inc()
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
 }
 
+// truncate shortens s to at most n runes plus an ellipsis. Slicing at a
+// byte offset would split multi-byte UTF-8 sequences in non-ASCII titles.
 func truncate(s string, n int) string {
-	if len(s) <= n {
-		return s
+	seen := 0
+	for i := range s {
+		if seen == n {
+			return s[:i] + "..."
+		}
+		seen++
 	}
-	return s[:n] + "..."
+	return s
 }

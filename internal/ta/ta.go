@@ -158,6 +158,7 @@ func TopExperts(g *hetgraph.Graph, papers []hetgraph.NodeID, n int) ([]Ranking, 
 	}
 
 	top, st := Aggregate(lists, len(cands.ids), n, exact)
+	st.record()
 	if len(top) == 0 {
 		return nil, st
 	}

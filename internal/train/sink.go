@@ -1,0 +1,25 @@
+package train
+
+import "sync/atomic"
+
+// Sink receives named measurements from FineTune, letting a service
+// watch long offline runs progress epoch by epoch (obs.Registry
+// satisfies the interface).
+type Sink interface {
+	Observe(name string, v float64)
+}
+
+type sinkBox struct{ s Sink }
+
+var sinkHolder atomic.Value
+
+// SetSink installs the package-wide measurement sink; nil disables
+// recording.
+func SetSink(s Sink) { sinkHolder.Store(sinkBox{s}) }
+
+func currentSink() Sink {
+	if b, ok := sinkHolder.Load().(sinkBox); ok {
+		return b.s
+	}
+	return nil
+}

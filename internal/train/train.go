@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"expertfind/internal/hetgraph"
 	"expertfind/internal/sampling"
@@ -67,8 +68,9 @@ func (c Config) withDefaults() Config {
 
 // Result reports a fine-tuning run.
 type Result struct {
-	EpochLosses []float64 // mean triplet loss per epoch
-	Steps       int       // optimiser steps taken
+	EpochLosses []float64       // mean triplet loss per epoch
+	EpochTimes  []time.Duration // wall time per epoch
+	Steps       int             // optimiser steps taken
 	Triples     int
 }
 
@@ -107,6 +109,7 @@ func FineTune(enc *textenc.Encoder, cache TokenCache, triples []sampling.Triple,
 	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var epochLoss float64
 		for start := 0; start < len(order); start += cfg.BatchSize {
@@ -124,9 +127,20 @@ func FineTune(enc *textenc.Encoder, cache TokenCache, triples []sampling.Triple,
 		}
 		mean := epochLoss / float64(len(order))
 		res.EpochLosses = append(res.EpochLosses, mean)
+		res.EpochTimes = append(res.EpochTimes, time.Since(epochStart))
+		if s := currentSink(); s != nil {
+			s.Observe("expertfind_train_epochs_total", 1)
+			s.Observe("expertfind_train_epoch_seconds_total", time.Since(epochStart).Seconds())
+			s.Observe("expertfind_train_loss", mean)
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, mean)
 		}
+	}
+	if s := currentSink(); s != nil {
+		s.Observe("expertfind_train_runs_total", 1)
+		s.Observe("expertfind_train_triples_total", float64(len(triples)))
+		s.Observe("expertfind_train_steps_total", float64(res.Steps))
 	}
 	return res
 }
