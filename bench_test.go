@@ -14,6 +14,7 @@ package expertfind_test
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"expertfind/internal/core"
@@ -173,7 +174,7 @@ func BenchmarkExpertRanking(b *testing.B) {
 	queries := benchGraph.Queries(16, rand.New(rand.NewSource(3)))
 	retrieved := make([][]hetgraph.NodeID, len(queries))
 	for i, q := range queries {
-		retrieved[i], _ = benchEngine.RetrievePapers(q.Text, 100)
+		retrieved[i], _, _ = benchEngine.RetrievePapers(q.Text, 100)
 	}
 	b.Run("TA", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -269,4 +270,83 @@ func BenchmarkSamplingCoreIndex(b *testing.B) {
 			}
 		})
 	}
+}
+
+// cachedBenchEngine lazily builds a second engine with the query cache
+// enabled, for the warm/concurrent serving benchmarks. benchEngine stays
+// cache-less so the offline-path benchmarks keep measuring real work.
+var cachedBenchEngine = struct {
+	once sync.Once
+	e    *core.Engine
+}{}
+
+func cachedEngine() *core.Engine {
+	cachedBenchEngine.once.Do(func() {
+		e, err := core.Build(benchGraph.Graph, core.Options{Dim: 32, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		e.EnableQueryCache(core.CacheConfig{MaxEntries: 4096})
+		cachedBenchEngine.e = e
+	})
+	return cachedBenchEngine.e
+}
+
+// BenchmarkTopExpertsCold measures the full online path — encode,
+// PG-Index retrieval, TA ranking — with no cache attached.
+func BenchmarkTopExpertsCold(b *testing.B) {
+	queries := benchGraph.Queries(32, rand.New(rand.NewSource(9)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := benchEngine.TopExperts(queries[i%len(queries)].Text, 50, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopExpertsWarm measures a cache hit: the same queries again on
+// a cache-enabled engine. The acceptance bar for the query cache is a
+// >=10x p50 advantage over BenchmarkTopExpertsCold (tracked as
+// warm_speedup_p50 in BENCH_query.json).
+func BenchmarkTopExpertsWarm(b *testing.B) {
+	e := cachedEngine()
+	queries := benchGraph.Queries(32, rand.New(rand.NewSource(9)))
+	for _, q := range queries { // prime
+		if _, _, err := e.TopExperts(q.Text, 50, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := e.TopExperts(queries[i%len(queries)].Text, 50, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !st.CacheHit {
+			b.Fatal("warm benchmark missed the cache")
+		}
+	}
+}
+
+// BenchmarkTopExpertsConcurrent hammers the cache-enabled engine from
+// GOMAXPROCS goroutines over a small warm query set — the serving-layer
+// throughput number (QPS under concurrency in BENCH_query.json).
+func BenchmarkTopExpertsConcurrent(b *testing.B) {
+	e := cachedEngine()
+	queries := benchGraph.Queries(8, rand.New(rand.NewSource(9)))
+	for _, q := range queries {
+		if _, _, err := e.TopExperts(q.Text, 50, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, _, err := e.TopExperts(queries[i%len(queries)].Text, 50, 10); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
 }

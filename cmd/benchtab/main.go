@@ -7,7 +7,9 @@
 //	benchtab -exp all
 //
 // Experiments: table2, table3, table4, table5, table6, fig7, fig8a,
-// fig8b, fig8c, fig8d, coresearch, all.
+// fig8b, fig8c, fig8d, coresearch, query, all. The query experiment
+// benchmarks the concurrent serving layer (cold/warm/concurrent latency,
+// QPS, cache hit rate) and writes BENCH_query.json (-bench-out).
 package main
 
 import (
@@ -20,17 +22,22 @@ import (
 	"expertfind/internal/experiments"
 )
 
+// benchOut is the -bench-out flag: where -exp query writes its JSON.
+var benchOut string
+
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1..table6, fig5, fig7, fig8a..fig8d, coresearch, sig, all)")
+		exp     = flag.String("exp", "all", "experiment id (table1..table6, fig5, fig7, fig8a..fig8d, coresearch, sig, query, all)")
 		papers  = flag.Int("papers", experiments.Default.Papers, "papers per dataset")
 		queries = flag.Int("queries", experiments.Default.Queries, "evaluation queries per dataset")
 		m       = flag.Int("m", experiments.Default.M, "top-m papers retrieved")
 		n       = flag.Int("n", experiments.Default.N, "top-n experts returned")
 		dim     = flag.Int("dim", experiments.Default.Dim, "embedding dimension")
 		seed    = flag.Int64("seed", experiments.Default.Seed, "random seed")
+		bench   = flag.String("bench-out", "BENCH_query.json", "output file for the query benchmark (-exp query)")
 	)
 	flag.Parse()
+	benchOut = *bench
 
 	sc := experiments.Scale{
 		Papers: *papers, Queries: *queries, M: *m, N: *n, Dim: *dim, Seed: *seed,
@@ -39,7 +46,7 @@ func main() {
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = []string{"table1", "table2", "table3", "table4", "table5", "table6",
-			"fig5", "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "coresearch", "sig"}
+			"fig5", "fig7", "fig8a", "fig8b", "fig8c", "fig8d", "coresearch", "sig", "query"}
 	}
 	for _, id := range ids {
 		t0 := time.Now()
@@ -100,7 +107,27 @@ func run(id string, sc experiments.Scale) (string, error) {
 				r.Algorithm, r.AvgTime.Round(time.Microsecond), r.AvgCore)
 		}
 		return b.String(), nil
+	case "query":
+		rep := experiments.RunQueryBench(sc)
+		if err := writeBenchJSON(benchOut, rep); err != nil {
+			return "", err
+		}
+		return experiments.FormatQueryBench(rep) +
+			fmt.Sprintf("[wrote %s]\n", benchOut), nil
 	default:
 		return "", fmt.Errorf("unknown experiment %q", id)
 	}
+}
+
+// writeBenchJSON writes the query benchmark report to path.
+func writeBenchJSON(path string, rep experiments.QueryBenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

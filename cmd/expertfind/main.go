@@ -133,7 +133,7 @@ func evaluate(engine *core.Engine, g *hetgraph.Graph, file string, m, n int) err
 	var total time.Duration
 	for _, q := range queries {
 		t0 := time.Now()
-		ranked, _ := engine.TopExperts(q.Text, m, n)
+		ranked, _, _ := engine.TopExperts(q.Text, m, n)
 		total += time.Since(t0)
 		ids := make([]hetgraph.NodeID, len(ranked))
 		for i, r := range ranked {
@@ -156,7 +156,11 @@ func evaluate(engine *core.Engine, g *hetgraph.Graph, file string, m, n int) err
 }
 
 func answer(engine *core.Engine, g *hetgraph.Graph, query string, m, n int) {
-	experts, st := engine.TopExperts(query, m, n)
+	experts, st, err := engine.TopExperts(query, m, n)
+	if err != nil {
+		fmt.Printf("query failed: %v\n", err)
+		return
+	}
 	fmt.Printf("query: %s\n", truncate(query, 70))
 	fmt.Printf("top-%d experts (%.2fms: encode %.2f, retrieve %.2f, rank %.2f; %d dist comps, TA depth %d):\n",
 		n, ms(st.Total()), ms(st.EncodeTime), ms(st.RetrieveTime), ms(st.RankTime),

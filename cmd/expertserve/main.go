@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"expertfind/internal/cli"
 	"expertfind/internal/core"
@@ -45,6 +46,11 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		enablePprof = flag.Bool("pprof", false, "mount profiling handlers under /debug/pprof/")
+
+		queryCache  = flag.Int("query-cache", 4096, "query-cache entries (0 disables caching)")
+		queryTTL    = flag.Duration("query-cache-ttl", 5*time.Minute, "query-cache entry TTL (0 = no expiry)")
+		queryTO     = flag.Duration("query-timeout", 2*time.Second, "per-request query deadline, 504 past it (0 = none)")
+		maxInflight = flag.Int("max-inflight", 256, "concurrent query requests before shedding 503 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -109,13 +115,21 @@ func main() {
 		logger.Info("engine_saved", "file", *saveFile)
 	}
 
+	if *queryCache > 0 {
+		engine.EnableQueryCache(core.CacheConfig{MaxEntries: *queryCache, TTL: *queryTTL})
+		logger.Info("query_cache_enabled", "entries", *queryCache, "ttl", *queryTTL)
+	}
+
 	srv := serve.New(engine)
 	srv.Log = logger
+	srv.QueryTimeout = *queryTO
+	srv.MaxInFlight = *maxInflight
 	if *enablePprof {
 		srv.EnablePprof()
 		logger.Info("pprof_enabled", "path", "/debug/pprof/")
 	}
-	logger.Info("serving", "addr", *addr)
+	logger.Info("serving", "addr", *addr,
+		"query_timeout", *queryTO, "max_inflight", *maxInflight)
 	if err := srv.ListenAndServe(*addr); err != nil {
 		fail(err)
 	}

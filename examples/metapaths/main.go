@@ -49,7 +49,7 @@ func main() {
 		var aps []float64
 		var p10 float64
 		for _, q := range queries {
-			ranked, _ := engine.TopExperts(q.Text, 200, 20)
+			ranked, _, _ := engine.TopExperts(q.Text, 200, 20)
 			ids := make([]hetgraph.NodeID, len(ranked))
 			for i, r := range ranked {
 				ids[i] = r.Expert

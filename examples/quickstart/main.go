@@ -42,7 +42,7 @@ func main() {
 	q := ds.Queries(1, rand.New(rand.NewSource(42)))[0]
 	fmt.Printf("\nquery: %.70s...\n", q.Text)
 
-	experts, qs := engine.TopExperts(q.Text, 200, 10)
+	experts, qs, _ := engine.TopExperts(q.Text, 200, 10)
 	fmt.Printf("top-10 experts in %.2fms (PG-Index visited %d nodes; TA stopped at depth %d):\n",
 		float64(qs.Total().Microseconds())/1000, qs.Search.NodesVisited, qs.TA.Depth)
 	for i, r := range experts {

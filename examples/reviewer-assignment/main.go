@@ -49,7 +49,7 @@ func main() {
 
 	// Over-fetch candidates, then take the best conflict-free reviewers.
 	const want = 5
-	ranked, _ := engine.TopExperts(q.Text, 300, 50)
+	ranked, _, _ := engine.TopExperts(q.Text, 300, 50)
 	fmt.Printf("top-%d conflict-free reviewers:\n", want)
 	count := 0
 	for _, r := range ranked {

@@ -45,7 +45,7 @@ func main() {
 	fmt.Println("assembling a 6-person team across 3 expertise areas")
 	perArea := make([][]ta.Ranking, len(briefs))
 	for i, q := range briefs {
-		perArea[i], _ = engine.TopExperts(q.Text, 200, 15)
+		perArea[i], _, _ = engine.TopExperts(q.Text, 200, 15)
 		fmt.Printf("  area %d (topic %d): %d candidates, best score %.3f\n",
 			i+1, q.Topic, len(perArea[i]), perArea[i][0].Score)
 	}

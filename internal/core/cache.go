@@ -1,0 +1,232 @@
+package core
+
+import (
+	"container/list"
+	"hash/maphash"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/obs"
+	"expertfind/internal/ta"
+)
+
+// CacheConfig configures the engine's query cache (EnableQueryCache).
+type CacheConfig struct {
+	// MaxEntries bounds the total number of cached queries across all
+	// shards; <= 0 disables the cache.
+	MaxEntries int
+	// TTL expires entries this long after their fill; 0 means no expiry.
+	TTL time.Duration
+	// Shards is the number of independently locked segments (default 16,
+	// rounded up to a power of two).
+	Shards int
+}
+
+// cachedResult is one memoised query answer. Slices are never handed out
+// directly: Get copies, so a caller mutating its result cannot corrupt
+// later hits.
+type cachedResult struct {
+	papers  []hetgraph.NodeID
+	experts []ta.Ranking
+	stats   QueryStats
+}
+
+func (r cachedResult) clone() cachedResult {
+	out := r
+	if r.papers != nil {
+		out.papers = append([]hetgraph.NodeID(nil), r.papers...)
+	}
+	if r.experts != nil {
+		out.experts = append([]ta.Ranking(nil), r.experts...)
+	}
+	return out
+}
+
+// cacheEntry is one shard-resident entry. gen pins the engine state the
+// fill observed; Get rejects entries from a superseded generation even if
+// a concurrent purge has not swept them yet.
+type cacheEntry struct {
+	key     string
+	val     cachedResult
+	gen     uint64
+	expires time.Time // zero: never
+}
+
+type cacheShard struct {
+	mu  sync.Mutex
+	lru *list.List // front: most recent; values are *cacheEntry
+	pos map[string]*list.Element
+	cap int
+}
+
+// queryCache is a sharded, concurrency-safe LRU over normalized query
+// keys with TTL and generation-based invalidation. Hit/miss/eviction
+// traffic lands in the engine's obs registry under the
+// expertfind_qcache_* families.
+type queryCache struct {
+	shards []*cacheShard
+	seed   maphash.Seed
+	ttl    time.Duration
+	gen    atomic.Uint64
+	size   atomic.Int64
+
+	hits          *obs.Counter
+	misses        *obs.Counter
+	evictions     *obs.Counter
+	expirations   *obs.Counter
+	invalidations *obs.Counter
+	entries       *obs.Gauge
+}
+
+func newQueryCache(cfg CacheConfig, reg *obs.Registry) *queryCache {
+	if cfg.MaxEntries <= 0 {
+		return nil
+	}
+	ns := cfg.Shards
+	if ns <= 0 {
+		ns = 16
+	}
+	// Round up to a power of two so shard selection is a mask.
+	p := 1
+	for p < ns {
+		p <<= 1
+	}
+	ns = p
+	if ns > cfg.MaxEntries {
+		ns = 1
+		for ns*2 <= cfg.MaxEntries {
+			ns <<= 1
+		}
+	}
+	c := &queryCache{
+		shards: make([]*cacheShard, ns),
+		seed:   maphash.MakeSeed(),
+		ttl:    cfg.TTL,
+
+		hits:          reg.Counter("expertfind_qcache_hits_total", "Query-cache lookups answered from the cache."),
+		misses:        reg.Counter("expertfind_qcache_misses_total", "Query-cache lookups that fell through to a full query."),
+		evictions:     reg.Counter("expertfind_qcache_evictions_total", "Query-cache entries evicted by the LRU size bound."),
+		expirations:   reg.Counter("expertfind_qcache_expired_total", "Query-cache entries dropped because their TTL elapsed."),
+		invalidations: reg.Counter("expertfind_qcache_invalidations_total", "Whole-cache invalidations triggered by graph updates."),
+		entries:       reg.Gauge("expertfind_qcache_entries", "Query-cache entries currently resident."),
+	}
+	per := cfg.MaxEntries / ns
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{lru: list.New(), pos: map[string]*list.Element{}, cap: per}
+	}
+	return c
+}
+
+func (c *queryCache) shard(key string) *cacheShard {
+	return c.shards[maphash.String(c.seed, key)&uint64(len(c.shards)-1)]
+}
+
+// generation returns the current invalidation epoch. Callers capture it
+// BEFORE reading engine state; Put then refuses results computed against
+// a superseded epoch, so a fill racing an update can never publish stale
+// experts.
+func (c *queryCache) generation() uint64 { return c.gen.Load() }
+
+// Get returns the cached result for key, if present, unexpired and from
+// the current generation.
+func (c *queryCache) Get(key string) (cachedResult, bool) {
+	s := c.shard(key)
+	now := time.Now()
+	gen := c.gen.Load()
+	s.mu.Lock()
+	el, ok := s.pos[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Inc()
+		return cachedResult{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.gen != gen {
+		s.removeLocked(el)
+		s.mu.Unlock()
+		c.size.Add(-1)
+		c.entries.Add(-1)
+		c.misses.Inc()
+		return cachedResult{}, false
+	}
+	if !e.expires.IsZero() && now.After(e.expires) {
+		s.removeLocked(el)
+		s.mu.Unlock()
+		c.size.Add(-1)
+		c.entries.Add(-1)
+		c.expirations.Inc()
+		c.misses.Inc()
+		return cachedResult{}, false
+	}
+	s.lru.MoveToFront(el)
+	out := e.val.clone()
+	s.mu.Unlock()
+	c.hits.Inc()
+	return out, true
+}
+
+// Put stores a result computed while the cache was at generation gen. A
+// stale gen (an update landed meanwhile) discards the value instead.
+func (c *queryCache) Put(key string, v cachedResult, gen uint64) {
+	if c.gen.Load() != gen {
+		return
+	}
+	e := &cacheEntry{key: key, val: v.clone(), gen: gen}
+	if c.ttl > 0 {
+		e.expires = time.Now().Add(c.ttl)
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.pos[key]; ok {
+		el.Value = e
+		s.lru.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.pos[key] = s.lru.PushFront(e)
+	var evicted bool
+	if s.lru.Len() > s.cap {
+		s.removeLocked(s.lru.Back())
+		evicted = true
+	}
+	s.mu.Unlock()
+	if evicted {
+		c.evictions.Inc()
+	} else {
+		c.size.Add(1)
+		c.entries.Add(1)
+	}
+}
+
+// removeLocked unlinks el from the shard; the caller holds s.mu and owns
+// the size accounting.
+func (s *cacheShard) removeLocked(el *list.Element) {
+	delete(s.pos, el.Value.(*cacheEntry).key)
+	s.lru.Remove(el)
+}
+
+// Invalidate drops every entry. The generation bump happens first, so a
+// racing Put (or a Get of an entry the sweep has not reached) observes
+// the new epoch and refuses the stale value.
+func (c *queryCache) Invalidate() {
+	c.gen.Add(1)
+	var dropped int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		dropped += int64(s.lru.Len())
+		s.lru.Init()
+		s.pos = map[string]*list.Element{}
+		s.mu.Unlock()
+	}
+	c.size.Add(-dropped)
+	c.entries.Add(float64(-dropped))
+	c.invalidations.Inc()
+}
+
+// Len returns the resident entry count (approximate under concurrency).
+func (c *queryCache) Len() int { return int(c.size.Load()) }

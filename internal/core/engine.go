@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"expertfind/internal/hetgraph"
@@ -126,16 +127,29 @@ type BuildStats struct {
 
 // Engine is a built expert-finding system: fine-tuned embeddings E, the
 // PG-Index over them, and the TA ranker.
+//
+// Queries and online updates may run concurrently: query paths hold mu
+// for reading, AddPaper holds it for writing. The optional query cache
+// (EnableQueryCache) memoises answers and is invalidated by every update,
+// so a cached ranking never outlives the graph state it was computed on.
 type Engine struct {
 	g     *hetgraph.Graph
 	opts  Options
 	enc   *textenc.Encoder
 	cache train.TokenCache
-	// Embeddings is E, the representation of every paper.
+	// Embeddings is E, the representation of every paper. Treat as
+	// read-only outside the engine; AddPaper mutates it under mu.
 	Embeddings map[hetgraph.NodeID]vec.Vector
 	index      *pgindex.Index
 	stats      BuildStats
 	reg        *obs.Registry
+
+	// mu serialises online updates against queries.
+	mu sync.RWMutex
+	// qcache is the optional sharded query cache; nil when disabled.
+	qcache *queryCache
+	// flights coalesces concurrent identical cache misses.
+	flights flightGroup
 }
 
 // Build runs the offline pipeline over g: vocabulary induction,
@@ -243,14 +257,21 @@ type QueryStats struct {
 	TA           ta.Stats
 	UsedPGIndex  bool
 	UsedTA       bool
+	// CacheHit reports that the answer came from the query cache; the
+	// remaining fields then describe the original fill, not this lookup.
+	CacheHit bool
+	// Coalesced reports that this call piggybacked on a concurrent
+	// identical query through singleflight.
+	Coalesced bool
 }
 
 // Total returns the end-to-end response time of the query.
 func (s QueryStats) Total() time.Duration { return s.EncodeTime + s.RetrieveTime + s.RankTime }
 
-// startQuery opens the root span of one online request.
-func (e *Engine) startQuery() (context.Context, *obs.Span) {
-	return obs.StartSpan(obs.WithRegistry(context.Background(), e.reg), "query")
+// startQuery opens the root span of one online request, derived from the
+// caller's ctx so cancellation flows into the pipeline stages.
+func (e *Engine) startQuery(ctx context.Context) (context.Context, *obs.Span) {
+	return obs.StartSpan(obs.WithRegistry(ctx, e.reg), "query")
 }
 
 // finishQuery closes the root span and records the request in the
@@ -262,21 +283,40 @@ func (e *Engine) finishQuery(root *obs.Span, st QueryStats) {
 		"End-to-end online query latency.", nil).Observe(st.Total().Seconds())
 }
 
-// retrievePapers is the span-instrumented retrieval stage shared by the
-// public entry points. The encode and retrieve spans populate QueryStats,
-// so Total() is by construction the sum of the span durations.
-func (e *Engine) retrievePapers(ctx context.Context, query string, m int) ([]hetgraph.NodeID, QueryStats) {
+// abandonQuery closes the root span of a query that died on cancellation
+// and bumps the abandonment counter.
+func (e *Engine) abandonQuery(root *obs.Span) {
+	root.End()
+	e.reg.Counter("expertfind_query_abandoned_total",
+		"Queries abandoned because their context was cancelled or timed out.").Inc()
+}
+
+// retrievePapersLocked is the span-instrumented retrieval stage shared by
+// the public entry points; the caller holds e.mu for reading. The encode
+// and retrieve spans populate QueryStats, so Total() is by construction
+// the sum of the span durations.
+func (e *Engine) retrievePapersLocked(ctx context.Context, query string, m int) ([]hetgraph.NodeID, QueryStats, error) {
 	var st QueryStats
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 	_, sp := obs.StartSpan(ctx, "encode")
 	qv := e.enc.Encode(query)
 	st.EncodeTime = sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 
 	_, sp = obs.StartSpan(ctx, "retrieve")
 	var ids []hetgraph.NodeID
 	if e.index != nil {
 		st.UsedPGIndex = true
-		var res []pgindex.Result
-		res, st.Search = e.index.Search(qv, m, e.opts.EF)
+		res, sst, err := e.index.SearchCtx(ctx, qv, m, e.opts.EF)
+		st.Search = sst
+		if err != nil {
+			st.RetrieveTime = sp.End()
+			return nil, st, err
+		}
 		ids = make([]hetgraph.NodeID, len(res))
 		for i, r := range res {
 			ids[i] = r.ID
@@ -289,39 +329,37 @@ func (e *Engine) retrievePapers(ctx context.Context, query string, m int) ([]het
 		}
 	}
 	st.RetrieveTime = sp.End()
-	return ids, st
+	return ids, st, ctx.Err()
 }
 
-// RetrievePapers returns the top-m papers semantically similar to the
-// query text (§IV-B), via the PG-Index or, when disabled, a brute-force
-// scan.
-func (e *Engine) RetrievePapers(query string, m int) ([]hetgraph.NodeID, QueryStats) {
-	ctx, root := e.startQuery()
-	ids, st := e.retrievePapers(ctx, query, m)
-	e.finishQuery(root, st)
-	return ids, st
-}
-
-// TopExperts answers a query (§IV-C): retrieve the top-m papers, extract
-// candidate experts, and return the top-n by ranking score — through the
-// threshold algorithm by default, or a full scan when disabled.
-func (e *Engine) TopExperts(query string, m, n int) ([]ta.Ranking, QueryStats) {
-	ctx, root := e.startQuery()
-	papers, st := e.retrievePapers(ctx, query, m)
-	_, sp := obs.StartSpan(ctx, "rank")
+// topExpertsLocked runs the full uncached pipeline under a read lock.
+func (e *Engine) topExpertsLocked(ctx context.Context, query string, m, n int) ([]ta.Ranking, QueryStats, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sctx, root := e.startQuery(ctx)
+	papers, st, err := e.retrievePapersLocked(sctx, query, m)
+	if err != nil {
+		e.abandonQuery(root)
+		return nil, st, err
+	}
+	_, sp := obs.StartSpan(sctx, "rank")
 	var experts []ta.Ranking
 	if boolOpt(e.opts.UseTA, true) {
 		st.UsedTA = true
-		experts, st.TA = ta.TopExperts(e.g, papers, n)
+		experts, st.TA, err = ta.TopExpertsCtx(sctx, e.g, papers, n)
 	} else {
 		experts = ta.TopExpertsFullScan(e.g, papers, n)
 	}
 	st.RankTime = sp.End()
+	if err != nil {
+		e.abandonQuery(root)
+		return nil, st, err
+	}
 	e.finishQuery(root, st)
-	return experts, st
+	return experts, st, nil
 }
 
-// Errors returned by SimilarPapers.
+// Errors returned by the query entry points.
 var (
 	// ErrUnknownPaper reports an id with no indexed embedding.
 	ErrUnknownPaper = errors.New("core: unknown paper id")
@@ -329,11 +367,32 @@ var (
 	ErrNoIndex = errors.New("core: PG-Index disabled on this engine")
 )
 
+// BadParamError reports a query parameter outside its valid range, such
+// as a non-positive m or n; callers can map it to a 400 with errors.As.
+type BadParamError struct {
+	Param string
+	Value int
+}
+
+func (e *BadParamError) Error() string {
+	return fmt.Sprintf("core: parameter %s must be positive, got %d", e.Param, e.Value)
+}
+
 // SimilarPapers returns the m papers nearest to an already-indexed paper,
 // excluding the paper itself — the related-work lookup behind /similar.
 // The search honours the engine's configured EF option, exactly like
 // query retrieval.
 func (e *Engine) SimilarPapers(id hetgraph.NodeID, m int) ([]hetgraph.NodeID, QueryStats, error) {
+	return e.SimilarPapersCtx(context.Background(), id, m)
+}
+
+// SimilarPapersCtx is SimilarPapers with cooperative cancellation.
+func (e *Engine) SimilarPapersCtx(ctx context.Context, id hetgraph.NodeID, m int) ([]hetgraph.NodeID, QueryStats, error) {
+	if m <= 0 {
+		return nil, QueryStats{}, &BadParamError{Param: "m", Value: m}
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	emb, ok := e.Embeddings[id]
 	if !ok {
 		return nil, QueryStats{}, ErrUnknownPaper
@@ -341,13 +400,18 @@ func (e *Engine) SimilarPapers(id hetgraph.NodeID, m int) ([]hetgraph.NodeID, Qu
 	if e.index == nil {
 		return nil, QueryStats{}, ErrNoIndex
 	}
-	ctx, root := e.startQuery()
+	sctx, root := e.startQuery(ctx)
 	var st QueryStats
-	_, sp := obs.StartSpan(ctx, "retrieve")
+	_, sp := obs.StartSpan(sctx, "retrieve")
 	st.UsedPGIndex = true
 	// +1: the paper itself ranks first in its own neighbourhood.
-	var res []pgindex.Result
-	res, st.Search = e.index.Search(emb, m+1, e.opts.EF)
+	res, sst, err := e.index.SearchCtx(sctx, emb, m+1, e.opts.EF)
+	st.Search = sst
+	if err != nil {
+		st.RetrieveTime = sp.End()
+		e.abandonQuery(root)
+		return nil, st, err
+	}
 	ids := make([]hetgraph.NodeID, 0, m)
 	for _, r := range res {
 		if r.ID == id {

@@ -65,7 +65,7 @@ func TestTopExpertsEndToEnd(t *testing.T) {
 	queries := ds.Queries(8, rng)
 	var p20 float64
 	for _, q := range queries {
-		ranked, st := e.TopExperts(q.Text, 50, 20)
+		ranked, st, _ := e.TopExperts(q.Text, 50, 20)
 		if len(ranked) == 0 {
 			t.Fatal("no experts returned")
 		}
@@ -102,7 +102,7 @@ func TestAblationsChangeThePipeline(t *testing.T) {
 	if noIdx.Index() != nil {
 		t.Error("w/o PG-Index still built one")
 	}
-	ranked, st := noIdx.TopExperts("some query text", 30, 10)
+	ranked, st, _ := noIdx.TopExperts("some query text", 30, 10)
 	if st.UsedPGIndex {
 		t.Error("stats claim PG-Index was used")
 	}
@@ -110,7 +110,7 @@ func TestAblationsChangeThePipeline(t *testing.T) {
 		t.Error("brute-force fallback returned nothing")
 	}
 	_, noTA := buildSmall(t, func(o *Options) { o.UseTA = Bool(false) })
-	_, st2 := noTA.TopExperts("some query text", 30, 10)
+	_, st2, _ := noTA.TopExperts("some query text", 30, 10)
 	if st2.UsedTA {
 		t.Error("stats claim TA was used")
 	}
@@ -135,8 +135,8 @@ func TestBuildDeterministic(t *testing.T) {
 		}
 	}
 	q := "community search graph embedding"
-	r1, _ := e1.TopExperts(q, 30, 10)
-	r2, _ := e2.TopExperts(q, 30, 10)
+	r1, _, _ := e1.TopExperts(q, 30, 10)
+	r2, _, _ := e2.TopExperts(q, 30, 10)
 	for i := range r1 {
 		if r1[i].Expert != r2[i].Expert {
 			t.Fatal("query results differ between identical builds")
@@ -150,7 +150,7 @@ func TestRetrievePapersAgreesWithBruteForceOnSelf(t *testing.T) {
 	papers := ds.Graph.NodesOfType(hetgraph.Paper)
 	hits := 0
 	for _, p := range papers[:10] {
-		got, _ := e.RetrievePapers(ds.Graph.Label(p), 5)
+		got, _, _ := e.RetrievePapers(ds.Graph.Label(p), 5)
 		if len(got) > 0 && got[0] == p {
 			hits++
 		}

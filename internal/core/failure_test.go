@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -33,7 +34,7 @@ func TestBuildOnTinyGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	experts, _ := e.TopExperts("some paper text", 10, 3)
+	experts, _, _ := e.TopExperts("some paper text", 10, 3)
 	if len(experts) != 1 {
 		t.Fatalf("single-author corpus returned %d experts", len(experts))
 	}
@@ -51,7 +52,7 @@ func TestBuildWithEmptyLabels(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Zero-vector embeddings are degenerate but must not crash retrieval.
-	experts, _ := e.TopExperts("anything", 5, 2)
+	experts, _, _ := e.TopExperts("anything", 5, 2)
 	_ = experts
 }
 
@@ -65,7 +66,7 @@ func TestBuildWithUnicodeLabels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, st := e.RetrievePapers("gráph naïve 研究", 3); st.EncodeTime < 0 {
+	if _, st, _ := e.RetrievePapers("gráph naïve 研究", 3); st.EncodeTime < 0 {
 		t.Fatal("impossible")
 	}
 }
@@ -81,12 +82,12 @@ func TestBuildWithIsolatedPapers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	papers, _ := e.RetrievePapers("isolated paper text", 4)
+	papers, _, _ := e.RetrievePapers("isolated paper text", 4)
 	if len(papers) != 4 {
 		t.Fatalf("retrieved %d papers", len(papers))
 	}
 	// No authors anywhere: the expert list is empty, not a crash.
-	experts, _ := e.TopExperts("isolated paper text", 4, 2)
+	experts, _, _ := e.TopExperts("isolated paper text", 4, 2)
 	if len(experts) != 0 {
 		t.Fatalf("experts from authorless corpus: %v", experts)
 	}
@@ -99,10 +100,15 @@ func TestQueryEdgeCases(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, q := range []string{"", "    ", "@@@@!!!", strings.Repeat("word ", 5000)} {
-		experts, _ := e.TopExperts(q, 10, 5)
+		experts, _, _ := e.TopExperts(q, 10, 5)
 		_ = experts // no panic is the contract; results may be empty
 	}
-	if res, _ := e.RetrievePapers("text", 0); len(res) != 0 {
+	res, _, err := e.RetrievePapers("text", 0)
+	var bad *BadParamError
+	if !errors.As(err, &bad) || bad.Param != "m" {
+		t.Errorf("m=0 should return *BadParamError for m, got %v", err)
+	}
+	if len(res) != 0 {
 		t.Error("m=0 returned papers")
 	}
 }

@@ -72,7 +72,7 @@ func TestBuildStatsDerivedFromSpans(t *testing.T) {
 // span duration recorded into the registry.
 func TestQueryStatsSpanConsistency(t *testing.T) {
 	e, reg, ds := buildObserved(t)
-	_, st := e.TopExperts(ds.Corpus()[0][:40], 50, 10)
+	_, st, _ := e.TopExperts(ds.Corpus()[0][:40], 50, 10)
 
 	if st.Total() != st.EncodeTime+st.RetrieveTime+st.RankTime {
 		t.Errorf("Total %v != %v + %v + %v", st.Total(), st.EncodeTime, st.RetrieveTime, st.RankTime)

@@ -48,8 +48,12 @@ type enginePersist struct {
 	NumDocs  int
 }
 
-// Save serialises the engine's fine-tuned encoder and configuration.
+// Save serialises the engine's fine-tuned encoder and configuration. It
+// holds the engine's read lock, so it can run while queries are served
+// but not mid-update.
 func (e *Engine) Save(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	enc := e.enc
 	vocab := enc.Vocab()
@@ -137,8 +141,11 @@ func Load(r io.Reader, g *hetgraph.Graph) (*Engine, error) {
 }
 
 // SaveEmbeddings writes E itself (paper id, vector) with gob, for
-// interoperability with external ANN tooling.
+// interoperability with external ANN tooling. Like Save, it holds the
+// engine's read lock against concurrent updates.
 func (e *Engine) SaveEmbeddings(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	type pair struct {
 		ID  hetgraph.NodeID

@@ -50,8 +50,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 
 	// Queries must return identical experts.
 	for _, q := range ds.Queries(5, randSource(3)) {
-		r1, _ := built.TopExperts(q.Text, 40, 10)
-		r2, _ := loaded.TopExperts(q.Text, 40, 10)
+		r1, _, _ := built.TopExperts(q.Text, 40, 10)
+		r2, _, _ := loaded.TopExperts(q.Text, 40, 10)
 		if len(r1) != len(r2) {
 			t.Fatalf("result sizes differ: %d vs %d", len(r1), len(r2))
 		}

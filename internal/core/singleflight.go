@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent identical work: while one caller
+// (the leader) executes fn for a key, later callers for the same key
+// block on the leader's result instead of repeating the encode + search +
+// rank. A hand-rolled analogue of x/sync/singleflight, kept dependency-free.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  cachedResult
+	err  error
+}
+
+// Do runs fn once per concurrent set of callers with the same key and
+// returns the shared result. shared reports whether this caller
+// piggybacked on another's execution. A waiter whose own ctx expires
+// stops waiting and returns ctx.Err(); the leader's fn keeps running for
+// the remaining waiters.
+//
+// The leader runs fn under its own ctx, so if the LEADER is cancelled,
+// waiters receive its context error; the caller is expected to fall back
+// to executing the query itself when its own context is still live (see
+// Engine.cachedQuery).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (cachedResult, error)) (v cachedResult, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flightCall{}
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return cachedResult{}, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSingleflightDedup(t *testing.T) {
+	var g flightGroup
+	var fills atomic.Int64
+	release := make(chan struct{})
+	const callers = 16
+
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := g.Do(context.Background(), "k", func() (cachedResult, error) {
+				fills.Add(1)
+				<-release // hold every follower in the waiting path
+				return resultWithPapers(7), nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if len(v.papers) != 1 || v.papers[0] != 7 {
+				t.Errorf("wrong value %+v", v)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Let the goroutines pile up on the leader before releasing it.
+	for {
+		if fills.Load() == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := fills.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	if sharedCount.Load() != callers-1 {
+		t.Fatalf("shared callers = %d, want %d", sharedCount.Load(), callers-1)
+	}
+}
+
+func TestSingleflightSequentialCallsEachExecute(t *testing.T) {
+	var g flightGroup
+	var fills int
+	for i := 0; i < 3; i++ {
+		_, err, shared := g.Do(context.Background(), "k", func() (cachedResult, error) {
+			fills++
+			return cachedResult{}, nil
+		})
+		if err != nil || shared {
+			t.Fatalf("call %d: err=%v shared=%v", i, err, shared)
+		}
+	}
+	if fills != 3 {
+		t.Fatalf("sequential calls should each run fn, got %d", fills)
+	}
+}
+
+func TestSingleflightWaiterCancellation(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	leaderStarted := make(chan struct{})
+	go g.Do(context.Background(), "k", func() (cachedResult, error) {
+		close(leaderStarted)
+		<-release
+		return cachedResult{}, nil
+	})
+	<-leaderStarted
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(ctx, "k", func() (cachedResult, error) {
+			t.Error("waiter must not execute fn")
+			return cachedResult{}, nil
+		})
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+	close(release)
+}
+
+func TestSingleflightLeaderErrorShared(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		g.Do(context.Background(), "k", func() (cachedResult, error) {
+			close(started)
+			<-release
+			return cachedResult{}, boom
+		})
+	}()
+	<-started
+	errs := make(chan error, 1)
+	go func() {
+		// The fallback fn also errors, so the assertion holds even if this
+		// goroutine loses the registration race and becomes a fresh leader.
+		_, err, _ := g.Do(context.Background(), "k", func() (cachedResult, error) {
+			return cachedResult{}, boom
+		})
+		errs <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	if err := <-errs; !errors.Is(err, boom) {
+		t.Fatalf("waiter got %v, want leader's error", err)
+	}
+	wg.Wait()
+}

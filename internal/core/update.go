@@ -25,10 +25,13 @@ type NewPaper struct {
 // segment into subword pieces (or [UNK]), exactly as unseen query words
 // do. It returns the new paper's node id.
 //
-// AddPaper is not safe to call concurrently with queries; updates and
-// queries must be externally serialised (the serve layer treats engines as
-// read-only).
+// AddPaper is safe to call concurrently with queries: it holds the
+// engine's write lock for the duration of the mutation and then
+// invalidates the query cache, so a query started after AddPaper returns
+// always sees the new paper and never a memoised pre-update ranking.
 func (e *Engine) AddPaper(p NewPaper) (hetgraph.NodeID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	g := e.g
 	if len(p.Authors) == 0 {
 		return 0, fmt.Errorf("core: a paper needs at least one author")
@@ -54,6 +57,9 @@ func (e *Engine) AddPaper(p NewPaper) (hetgraph.NodeID, error) {
 		}
 	}
 
+	// From here on the graph mutates; invalidate even on a partial failure
+	// so no cached ranking outlives a half-applied update.
+	defer e.InvalidateQueryCache()
 	id := g.AddNode(hetgraph.Paper, p.Text)
 	for _, a := range p.Authors {
 		if err := g.AddEdge(a, id, hetgraph.Write); err != nil {
@@ -85,6 +91,7 @@ func (e *Engine) AddPaper(p NewPaper) (hetgraph.NodeID, error) {
 			return 0, fmt.Errorf("core: index insert: %w", err)
 		}
 	}
+	e.reg.Counter("expertfind_updates_total", "Online papers added to a built engine.").Inc()
 	return id, nil
 }
 

@@ -37,7 +37,7 @@ func TestAddPaperRetrievable(t *testing.T) {
 		t.Fatalf("author list wrong: %v", got)
 	}
 	// The paper is immediately retrievable as its own nearest match.
-	papers, _ := e.RetrievePapers(text, 3)
+	papers, _, _ := e.RetrievePapers(text, 3)
 	found := false
 	for _, p := range papers {
 		if p == id {
@@ -48,7 +48,7 @@ func TestAddPaperRetrievable(t *testing.T) {
 		t.Fatalf("new paper not retrieved: %v", papers)
 	}
 	// Its authors can now win expert queries about it.
-	ranked, _ := e.TopExperts(text, 30, 5)
+	ranked, _, _ := e.TopExperts(text, 30, 5)
 	seen := map[hetgraph.NodeID]bool{}
 	for _, r := range ranked {
 		seen[r.Expert] = true

@@ -72,7 +72,7 @@ type engineSystem struct {
 func (s engineSystem) Name() string { return s.name }
 
 func (s engineSystem) TopExperts(query string, m, n int) []ta.Ranking {
-	r, _ := s.e.TopExperts(query, m, n)
+	r, _, _ := s.e.TopExperts(query, m, n)
 	return r
 }
 

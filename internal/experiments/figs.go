@@ -186,7 +186,7 @@ func RunFig8d(sc Scale) []SensitivityRow {
 		var total time.Duration
 		for _, q := range queries {
 			t0 := time.Now()
-			ranked, _ := e.TopExperts(q.Text, sc.M, n)
+			ranked, _, _ := e.TopExperts(q.Text, sc.M, n)
 			total += time.Since(t0)
 			ids := make([]hetgraph.NodeID, len(ranked))
 			for i, r := range ranked {

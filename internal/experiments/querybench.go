@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"expertfind/internal/core"
+	"expertfind/internal/dataset"
+	"expertfind/internal/obs"
+)
+
+// QueryBenchReport is the payload of BENCH_query.json: the serving-layer
+// benchmark that tracks the concurrent query path (cache, singleflight)
+// across PRs. Latencies are milliseconds.
+type QueryBenchReport struct {
+	Dataset string `json:"dataset"`
+	Papers  int    `json:"papers"`
+	Queries int    `json:"queries"` // distinct query texts
+	Rounds  int    `json:"rounds"`  // warm repetitions per query
+
+	ColdP50Ms float64 `json:"cold_p50_ms"` // first touch: full encode+search+rank
+	ColdP99Ms float64 `json:"cold_p99_ms"`
+	WarmP50Ms float64 `json:"warm_p50_ms"` // repeat touch: cache hit
+	WarmP99Ms float64 `json:"warm_p99_ms"`
+
+	ColdQPS       float64 `json:"cold_qps"`
+	WarmQPS       float64 `json:"warm_qps"`
+	ConcurrentQPS float64 `json:"concurrent_qps"` // 8 workers over the warm set
+
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	HitRate     float64 `json:"hit_rate"`
+	WarmSpeedup float64 `json:"warm_speedup_p50"` // cold_p50 / warm_p50
+}
+
+// RunQueryBench builds one engine with the query cache enabled and
+// measures the online path three ways: cold (every query a miss), warm
+// (every query a hit) and concurrent (8 workers hammering the warm set).
+func RunQueryBench(sc Scale) QueryBenchReport {
+	ds := dataset.Generate(dataset.AminerSim(sc.Papers))
+	reg := obs.NewRegistry()
+	e, err := core.Build(ds.Graph, core.Options{Dim: sc.Dim, Seed: sc.Seed, Metrics: reg})
+	if err != nil {
+		panic(err)
+	}
+	e.EnableQueryCache(core.CacheConfig{MaxEntries: 4096})
+
+	rng := rand.New(rand.NewSource(sc.Seed))
+	queries := ds.Queries(sc.Queries, rng)
+	rep := QueryBenchReport{
+		Dataset: "aminer-sim", Papers: sc.Papers, Queries: len(queries), Rounds: 5,
+	}
+
+	topExperts := func(text string) time.Duration {
+		t0 := time.Now()
+		if _, _, err := e.TopExperts(text, sc.M, sc.N); err != nil {
+			panic(err)
+		}
+		return time.Since(t0)
+	}
+
+	// Cold: first touch of every query.
+	cold := make([]time.Duration, 0, len(queries))
+	t0 := time.Now()
+	for _, q := range queries {
+		cold = append(cold, topExperts(q.Text))
+	}
+	coldWall := time.Since(t0)
+
+	// Warm: every query again, Rounds times.
+	warm := make([]time.Duration, 0, len(queries)*rep.Rounds)
+	t0 = time.Now()
+	for r := 0; r < rep.Rounds; r++ {
+		for _, q := range queries {
+			warm = append(warm, topExperts(q.Text))
+		}
+	}
+	warmWall := time.Since(t0)
+
+	// Concurrent: 8 workers over the warm set.
+	const workers = 8
+	t0 = time.Now()
+	var wg sync.WaitGroup
+	var concurrentOps int64 = int64(workers * len(queries))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := 0; i < len(queries); i++ {
+				topExperts(queries[(i+off)%len(queries)].Text)
+			}
+		}(w)
+	}
+	wg.Wait()
+	concWall := time.Since(t0)
+
+	rep.ColdP50Ms = durPercentile(cold, 0.50)
+	rep.ColdP99Ms = durPercentile(cold, 0.99)
+	rep.WarmP50Ms = durPercentile(warm, 0.50)
+	rep.WarmP99Ms = durPercentile(warm, 0.99)
+	rep.ColdQPS = float64(len(cold)) / coldWall.Seconds()
+	rep.WarmQPS = float64(len(warm)) / warmWall.Seconds()
+	rep.ConcurrentQPS = float64(concurrentOps) / concWall.Seconds()
+	rep.CacheHits = int(reg.Counter("expertfind_qcache_hits_total", "").Value())
+	rep.CacheMisses = int(reg.Counter("expertfind_qcache_misses_total", "").Value())
+	if total := rep.CacheHits + rep.CacheMisses; total > 0 {
+		rep.HitRate = float64(rep.CacheHits) / float64(total)
+	}
+	if rep.WarmP50Ms > 0 {
+		rep.WarmSpeedup = rep.ColdP50Ms / rep.WarmP50Ms
+	}
+	return rep
+}
+
+// durPercentile returns the q-quantile of samples in milliseconds.
+func durPercentile(samples []time.Duration, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return float64(s[i].Nanoseconds()) / 1e6
+}
+
+// FormatQueryBench renders the report as a human-readable table.
+func FormatQueryBench(r QueryBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query-serving benchmark — %s, %d papers, %d queries × %d rounds\n",
+		r.Dataset, r.Papers, r.Queries, r.Rounds)
+	fmt.Fprintf(&b, "%-12s %10s %10s %12s\n", "pass", "p50 ms", "p99 ms", "QPS")
+	fmt.Fprintf(&b, "%-12s %10.3f %10.3f %12.0f\n", "cold", r.ColdP50Ms, r.ColdP99Ms, r.ColdQPS)
+	fmt.Fprintf(&b, "%-12s %10.3f %10.3f %12.0f\n", "warm", r.WarmP50Ms, r.WarmP99Ms, r.WarmQPS)
+	fmt.Fprintf(&b, "%-12s %10s %10s %12.0f\n", "concurrent×8", "-", "-", r.ConcurrentQPS)
+	fmt.Fprintf(&b, "cache: %d hits / %d misses (hit rate %.3f), warm speedup %.0f×\n",
+		r.CacheHits, r.CacheMisses, r.HitRate, r.WarmSpeedup)
+	return b.String()
+}
+
+// WriteJSON writes the report as indented JSON (the BENCH_query.json format).
+func (r QueryBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -21,10 +21,23 @@ func RegisterWellKnown(r *Registry) {
 		"expertfind_train_epoch_seconds_total":           "Cumulative wall time spent in training epochs.",
 		"expertfind_train_triples_total":                 "Training triples consumed by fine-tuning runs.",
 		"expertfind_train_steps_total":                   "Optimiser steps taken by fine-tuning runs.",
+
+		// Concurrent query-serving layer (core query cache + serve).
+		"expertfind_qcache_hits_total":          "Query-cache lookups answered from the cache.",
+		"expertfind_qcache_misses_total":        "Query-cache lookups that fell through to a full query.",
+		"expertfind_qcache_evictions_total":     "Query-cache entries evicted by the LRU size bound.",
+		"expertfind_qcache_expired_total":       "Query-cache entries dropped because their TTL elapsed.",
+		"expertfind_qcache_invalidations_total": "Whole-cache invalidations triggered by graph updates.",
+		"expertfind_singleflight_shared_total":  "Queries answered by piggybacking on a concurrent identical query.",
+		"expertfind_query_abandoned_total":      "Queries abandoned because their context was cancelled or timed out.",
+		"expertfind_updates_total":              "Online papers added to a built engine.",
+		"expertfind_http_shed_total":            "Query requests shed because the in-flight limit was reached.",
+		"expertfind_http_timeouts_total":        "Query requests that exceeded their deadline.",
 	} {
 		r.Counter(name, help)
 	}
 	r.Gauge("expertfind_train_loss", "Mean triplet loss of the most recent training epoch.")
+	r.Gauge("expertfind_qcache_entries", "Query-cache entries currently resident.")
 	r.declare("expertfind_stage_seconds",
 		"Duration of pipeline stages, labelled by span path.", histogramKind, nil)
 }

@@ -2,6 +2,7 @@ package pgindex
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -250,6 +251,13 @@ func (idx *Index) Search(query vec.Vector, m, ef int) ([]Result, SearchStats) {
 	return idx.SearchEx(query, m, ef, true)
 }
 
+// SearchCtx is Search with cooperative cancellation: the greedy expansion
+// loop checks ctx every cancelCheckEvery expansions and returns ctx.Err()
+// with the partial stats when the deadline passed or the caller went away.
+func (idx *Index) SearchCtx(ctx context.Context, query vec.Vector, m, ef int) ([]Result, SearchStats, error) {
+	return idx.searchCtx(ctx, query, m, ef, true)
+}
+
 // SearchEx is Search with the entry strategy exposed: multiEntry=false
 // starts from the navigating node alone, the paper's original §IV-B
 // procedure (used by the Figure 5 experiment to isolate the effect of the
@@ -257,10 +265,20 @@ func (idx *Index) Search(query vec.Vector, m, ef int) ([]Result, SearchStats) {
 // stratified entries, which rescue greedy search on tightly clustered
 // fine-tuned corpora (see DESIGN.md).
 func (idx *Index) SearchEx(query vec.Vector, m, ef int, multiEntry bool) ([]Result, SearchStats) {
+	res, st, _ := idx.searchCtx(context.Background(), query, m, ef, multiEntry)
+	return res, st
+}
+
+// cancelCheckEvery spaces the context polls of SearchCtx: one atomic load
+// per this many node expansions, cheap next to the distance computations
+// an expansion performs.
+const cancelCheckEvery = 32
+
+func (idx *Index) searchCtx(ctx context.Context, query vec.Vector, m, ef int, multiEntry bool) ([]Result, SearchStats, error) {
 	var st SearchStats
 	n := len(idx.ids)
 	if n == 0 || m <= 0 {
-		return nil, st
+		return nil, st, ctx.Err()
 	}
 	if m > n {
 		m = n
@@ -312,6 +330,12 @@ func (idx *Index) SearchEx(query vec.Vector, m, ef int, multiEntry bool) ([]Resu
 		if pool.Len() >= ef && cur.dist > (*pool)[0].dist {
 			break // the nearest unexpanded candidate cannot improve the pool
 		}
+		if st.Expansions%cancelCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				st.record()
+				return nil, st, err
+			}
+		}
 		st.Expansions++
 		for _, nb := range idx.nbrs[cur.id] {
 			push(nb)
@@ -327,7 +351,7 @@ func (idx *Index) SearchEx(query vec.Vector, m, ef int, multiEntry bool) ([]Resu
 		res = res[:m]
 	}
 	st.record()
-	return res, st
+	return res, st, nil
 }
 
 // BruteForce scans every embedding and returns the exact m nearest papers

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+
+	"expertfind/internal/core"
+	"expertfind/internal/dataset"
+	"expertfind/internal/obs"
+)
+
+var (
+	fuzzSrvOnce sync.Once
+	fuzzSrv     *Server
+	fuzzSrvErr  error
+)
+
+// fuzzServer builds one small cached engine shared by every fuzz
+// execution; rebuilding per input would drown the fuzzer in build time.
+func fuzzServer() (*Server, error) {
+	fuzzSrvOnce.Do(func() {
+		ds := dataset.Generate(dataset.AminerSim(120))
+		e, err := core.Build(ds.Graph, core.Options{Dim: 8, Seed: 4, Metrics: obs.NewRegistry()})
+		if err != nil {
+			fuzzSrvErr = err
+			return
+		}
+		e.EnableQueryCache(core.CacheConfig{MaxEntries: 256})
+		fuzzSrv = New(e)
+	})
+	return fuzzSrv, fuzzSrvErr
+}
+
+// FuzzHandleExperts throws arbitrary query parameters at /experts: the
+// handler must never panic, must answer only 200 or 400 (no deadline and
+// no shedding are configured), and every 200 must carry a decodable,
+// rank-ordered payload.
+func FuzzHandleExperts(f *testing.F) {
+	if _, err := fuzzServer(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add("graph embedding", "5", "40")
+	f.Add("", "", "")
+	f.Add("x", "-1", "0")
+	f.Add("研究", "abc", "99999999999999999999")
+	f.Add("a&b=c#d", "5\x00", " 5")
+	f.Add("q", "0x10", "1e3")
+	f.Fuzz(func(t *testing.T, q, n, m string) {
+		s, _ := fuzzServer()
+		v := url.Values{}
+		// Only set parameters the input actually provides, so defaults get
+		// fuzzed too (empty string means "absent", matching handler logic
+		// only when unset rather than set-to-empty for q).
+		v.Set("q", q)
+		if n != "" {
+			v.Set("n", n)
+		}
+		if m != "" {
+			v.Set("m", m)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", "/experts?"+v.Encode(), nil))
+		switch rec.Code {
+		case 200:
+			var resp ExpertsResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("200 with undecodable body: %v", err)
+			}
+			for i, e := range resp.Experts {
+				if e.Rank != i+1 {
+					t.Fatalf("rank %d at position %d", e.Rank, i)
+				}
+				if i > 0 && resp.Experts[i-1].Score < e.Score {
+					t.Fatalf("experts out of order at %d", i)
+				}
+			}
+		case 400:
+			// Rejected input: fine.
+		default:
+			t.Fatalf("unexpected status %d for q=%q n=%q m=%q: %s",
+				rec.Code, q, n, m, rec.Body.String())
+		}
+	})
+}

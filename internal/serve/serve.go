@@ -11,11 +11,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"expertfind/internal/core"
@@ -38,6 +40,18 @@ type Server struct {
 	DefaultM, DefaultN int
 	// MaxM and MaxN bound per-request work.
 	MaxM, MaxN int
+	// QueryTimeout bounds each query route's work; past it the handler
+	// answers 504. Zero means no per-request deadline (the client's own
+	// cancellation still propagates). Set before serving.
+	QueryTimeout time.Duration
+	// MaxInFlight sheds query-route requests past this many concurrent
+	// ones with 503 + Retry-After, keeping tail latency bounded under
+	// overload. Zero means unlimited. Set before serving.
+	MaxInFlight int
+	// RetryAfter is the Retry-After hint on shed responses (default 1s).
+	RetryAfter time.Duration
+
+	inflightQueries atomic.Int64
 }
 
 // New returns a server over a built engine with sensible bounds. The
@@ -46,14 +60,15 @@ type Server struct {
 // and TA work counters aggregate across requests.
 func New(engine *core.Engine) *Server {
 	s := &Server{
-		engine:   engine,
-		mux:      http.NewServeMux(),
-		reg:      engine.Metrics(),
-		Log:      obs.NopLogger(),
-		DefaultM: 200,
-		DefaultN: 10,
-		MaxM:     5000,
-		MaxN:     500,
+		engine:     engine,
+		mux:        http.NewServeMux(),
+		reg:        engine.Metrics(),
+		Log:        obs.NopLogger(),
+		DefaultM:   200,
+		DefaultN:   10,
+		MaxM:       5000,
+		MaxN:       500,
+		RetryAfter: time.Second,
 	}
 	obs.RegisterWellKnown(s.reg)
 	pgindex.SetSink(s.reg)
@@ -81,6 +96,70 @@ func (s *Server) ListenAndServe(addr string) error {
 	return srv.ListenAndServe()
 }
 
+// statusClientClosedRequest is nginx's 499: the client went away before
+// the response was ready, so no status will reach it anyway — but the
+// access log and counters should not blame the server with a 5xx.
+const statusClientClosedRequest = 499
+
+// acquireQuerySlot admits a query-route request under the MaxInFlight
+// bound, or sheds it with 503 + Retry-After. The returned release must be
+// called when the handler finishes; ok=false means the response is
+// already written.
+func (s *Server) acquireQuerySlot(w http.ResponseWriter) (release func(), ok bool) {
+	if s.MaxInFlight <= 0 {
+		return func() {}, true
+	}
+	for {
+		cur := s.inflightQueries.Load()
+		if cur >= int64(s.MaxInFlight) {
+			s.reg.Counter("expertfind_http_shed_total",
+				"Query requests shed because the in-flight limit was reached.").Inc()
+			retry := s.RetryAfter
+			if retry <= 0 {
+				retry = time.Second
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+			return nil, false
+		}
+		if s.inflightQueries.CompareAndSwap(cur, cur+1) {
+			return func() { s.inflightQueries.Add(-1) }, true
+		}
+	}
+}
+
+// queryContext derives the handler context: the request's own (so client
+// disconnects cancel server work) bounded by QueryTimeout when set.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.QueryTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.QueryTimeout)
+}
+
+// writeQueryError maps an engine error onto an HTTP status: 400 for bad
+// parameters, 504 for an expired deadline, 499 for a client that went
+// away, 500 otherwise. Returns true when it wrote a response.
+func (s *Server) writeQueryError(w http.ResponseWriter, err error) bool {
+	if err == nil {
+		return false
+	}
+	var bad *core.BadParamError
+	switch {
+	case errors.As(err, &bad):
+		http.Error(w, bad.Error(), http.StatusBadRequest)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.reg.Counter("expertfind_http_timeouts_total",
+			"Query requests that exceeded their deadline.").Inc()
+		http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, "client closed request", statusClientClosedRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+	return true
+}
+
 // ExpertResult is one expert in an /experts response.
 type ExpertResult struct {
 	Rank   int     `json:"rank"`
@@ -97,6 +176,7 @@ type ExpertsResponse struct {
 	ResponseMs float64        `json:"response_ms"`
 	Candidates int            `json:"candidates"`
 	TADepth    int            `json:"ta_depth"`
+	Cached     bool           `json:"cached"`
 }
 
 func (s *Server) handleExperts(w http.ResponseWriter, r *http.Request) {
@@ -115,14 +195,25 @@ func (s *Server) handleExperts(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	release, ok := s.acquireQuerySlot(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
 
-	ranked, st := s.engine.TopExperts(q, m, n)
+	ranked, st, err := s.engine.TopExpertsCtx(ctx, q, m, n)
+	if s.writeQueryError(w, err) {
+		return
+	}
 	g := s.engine.Graph()
 	resp := ExpertsResponse{
 		Query:      q,
 		ResponseMs: float64(st.Total().Microseconds()) / 1000,
 		Candidates: st.TA.Candidates,
 		TADepth:    st.TA.Depth,
+		Cached:     st.CacheHit,
 		Experts:    make([]ExpertResult, 0, len(ranked)),
 	}
 	for i, e := range ranked {
@@ -165,7 +256,17 @@ func (s *Server) handlePapers(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	papers, _ := s.engine.RetrievePapers(q, m)
+	release, ok := s.acquireQuerySlot(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	papers, _, err := s.engine.RetrievePapersCtx(ctx, q, m)
+	if s.writeQueryError(w, err) {
+		return
+	}
 	out := make([]PaperResult, 0, len(papers))
 	for i, p := range papers {
 		out = append(out, s.paperResult(i+1, p))
@@ -193,7 +294,14 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ids, _, err := s.engine.SimilarPapers(hetgraph.NodeID(id64), m)
+	release, ok := s.acquireQuerySlot(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	ids, _, err := s.engine.SimilarPapersCtx(ctx, hetgraph.NodeID(id64), m)
 	switch {
 	case errors.Is(err, core.ErrUnknownPaper):
 		http.Error(w, "unknown paper id", http.StatusNotFound)
@@ -201,8 +309,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, core.ErrNoIndex):
 		http.Error(w, "index disabled on this engine", http.StatusServiceUnavailable)
 		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	case s.writeQueryError(w, err):
 		return
 	}
 	out := make([]PaperResult, 0, len(ids))

@@ -1,6 +1,9 @@
 package ta
 
-import "sort"
+import (
+	"context"
+	"sort"
+)
 
 // This file holds the generic threshold-algorithm core: an NRA-style
 // aggregation over m descending-sorted score lists, independent of graphs
@@ -31,9 +34,19 @@ type KeyScore struct {
 // reports the sorted accesses performed and whether the scan stopped
 // before exhausting the lists.
 func Aggregate(lists [][]ListEntry, numKeys, n int, exact func(int32) float64) ([]KeyScore, Stats) {
+	out, st, _ := AggregateCtx(context.Background(), lists, numKeys, n, exact)
+	return out, st
+}
+
+// AggregateCtx is Aggregate with cooperative cancellation: the round-robin
+// descent over the lists checks ctx once per depth round (one sorted
+// access per list) and returns ctx.Err() with the partial stats when the
+// caller's deadline passes.
+func AggregateCtx(ctx context.Context, lists [][]ListEntry, numKeys, n int,
+	exact func(int32) float64) ([]KeyScore, Stats, error) {
 	st := Stats{Candidates: numKeys}
 	if n <= 0 || len(lists) == 0 || numKeys == 0 {
-		return nil, st
+		return nil, st, ctx.Err()
 	}
 
 	acc := make([]float64, numKeys)
@@ -56,6 +69,9 @@ func Aggregate(lists [][]ListEntry, numKeys, n int, exact func(int32) float64) (
 
 	depth := 0
 	for depth < maxDepth {
+		if err := ctx.Err(); err != nil {
+			return nil, st, err
+		}
 		for j, l := range lists {
 			if depth < len(l) {
 				e := l[depth]
@@ -96,5 +112,5 @@ func Aggregate(lists [][]ListEntry, numKeys, n int, exact func(int32) float64) (
 	if len(out) > n {
 		out = out[:n]
 	}
-	return out, st
+	return out, st, nil
 }

@@ -12,6 +12,7 @@
 package ta
 
 import (
+	"context"
 	"sort"
 
 	"expertfind/internal/hetgraph"
@@ -125,6 +126,15 @@ func buildLists(g *hetgraph.Graph, papers []hetgraph.NodeID) ([][]ListEntry, *ca
 // n-th largest lower bound is at least every other candidate's upper bound
 // (Theorem 2). The returned experts carry their exact scores, descending.
 func TopExperts(g *hetgraph.Graph, papers []hetgraph.NodeID, n int) ([]Ranking, Stats) {
+	out, st, _ := TopExpertsCtx(context.Background(), g, papers, n)
+	return out, st
+}
+
+// TopExpertsCtx is TopExperts with cooperative cancellation, checked once
+// per TA depth round. On cancellation it returns ctx.Err() and the work
+// stats accumulated so far; no partial ranking is returned, because a
+// truncated TA scan carries no correctness guarantee.
+func TopExpertsCtx(ctx context.Context, g *hetgraph.Graph, papers []hetgraph.NodeID, n int) ([]Ranking, Stats, error) {
 	lists, cands := buildLists(g, papers)
 
 	// Random-access scorer for candidates whose accumulated sum is
@@ -157,10 +167,13 @@ func TopExperts(g *hetgraph.Graph, papers []hetgraph.NodeID, n int) ([]Ranking, 
 		return r
 	}
 
-	top, st := Aggregate(lists, len(cands.ids), n, exact)
+	top, st, err := AggregateCtx(ctx, lists, len(cands.ids), n, exact)
 	st.record()
+	if err != nil {
+		return nil, st, err
+	}
 	if len(top) == 0 {
-		return nil, st
+		return nil, st, nil
 	}
 	out := make([]Ranking, len(top))
 	for i, ks := range top {
@@ -174,7 +187,7 @@ func TopExperts(g *hetgraph.Graph, papers []hetgraph.NodeID, n int) ([]Ranking, 
 		}
 		return out[i].Expert < out[j].Expert
 	})
-	return out, st
+	return out, st, nil
 }
 
 // terminated applies the NRA termination check: LB (the n-th largest lower
