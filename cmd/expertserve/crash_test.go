@@ -1,0 +1,210 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"expertfind/internal/dataset"
+	"expertfind/internal/hetgraph"
+)
+
+// TestCrashRecoveryE2E is the end-to-end durability check: run the real
+// binary with -data-dir, acknowledge a stream of POST /add updates, kill
+// the process with SIGKILL (no cleanup of any kind), restart it on the
+// same directory, and require every acknowledged paper to be present and
+// queryable. A final SIGTERM run checks the graceful path: clean exit,
+// final snapshot, empty WAL on the next boot.
+func TestCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and builds the binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "expertserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	dataDir := filepath.Join(tmp, "state")
+	logPath := filepath.Join(tmp, "server.log")
+
+	start := func() *exec.Cmd {
+		logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin,
+			"-dataset", "aminer", "-papers", "120", "-dim", "8",
+			"-data-dir", dataDir, "-addr", addr,
+			"-fsync", "always",
+			"-snapshot-interval", "0", // keep updates WAL-only: force the replay path
+			"-query-cache", "0",
+			"-drain-timeout", "5s",
+		)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait(); logf.Close() })
+		return cmd
+	}
+	dumpLogOnFailure := func() {
+		if t.Failed() {
+			if b, err := os.ReadFile(logPath); err == nil {
+				t.Logf("server log:\n%s", b)
+			}
+		}
+	}
+	defer dumpLogOnFailure()
+
+	// The preset build is deterministic, so the test knows the server's
+	// author node ids without asking it.
+	authors := dataset.Generate(dataset.AminerSim(120)).Graph.NodesOfType(hetgraph.Author)
+
+	cmd := start()
+	waitReady(t, base)
+	basePapers := healthPapers(t, base)
+
+	// Acknowledge a stream of updates, then SIGKILL mid-stream — the
+	// process gets no chance to flush, snapshot, or say goodbye.
+	type acked struct {
+		ID  int32  `json:"id"`
+		Seq uint64 `json:"seq"`
+	}
+	var acks []acked
+	for i := 0; i < 12; i++ {
+		body := fmt.Sprintf(`{"text":"crash recovery paper %d on graph embeddings","authors":[%d,%d]}`,
+			i, authors[i], authors[i+1])
+		resp, err := http.Post(base+"/add", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := readBody(resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("add %d: status %d: %s", i, resp.StatusCode, b)
+		}
+		var a acked
+		if err := json.Unmarshal(b, &a); err != nil {
+			t.Fatal(err)
+		}
+		acks = append(acks, a)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: a real crash
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Restart on the same directory: recovery must replay the WAL and
+	// restore every acknowledged paper under its acknowledged id.
+	cmd2 := start()
+	waitReady(t, base)
+	if got := healthPapers(t, base); got != basePapers+len(acks) {
+		t.Errorf("papers after recovery: %d, want %d base + %d acked", got, basePapers, len(acks))
+	}
+	for _, a := range acks {
+		resp, err := http.Get(fmt.Sprintf("%s/similar?id=%d&m=1", base, a.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := readBody(resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("acked paper %d (seq %d) lost after crash: status %d: %s",
+				a.ID, a.Seq, resp.StatusCode, b)
+		}
+	}
+
+	// Graceful path: SIGTERM drains and exits 0, writing a final
+	// snapshot on the way out.
+	if err := cmd2.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, cmd2, 30*time.Second)
+	if code := cmd2.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("graceful shutdown exit code %d, want 0", code)
+	}
+
+	// Third boot: the final snapshot covers everything, so recovery is
+	// instant and nothing was lost across the clean restart either.
+	start()
+	waitReady(t, base)
+	if got := healthPapers(t, base); got != basePapers+len(acks) {
+		t.Errorf("papers after graceful restart: %d, want %d", got, basePapers+len(acks))
+	}
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+}
+
+func healthPapers(t *testing.T, base string) int {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := readBody(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Papers int `json:"papers"`
+	}
+	if err := json.Unmarshal(b, &h); err != nil {
+		t.Fatalf("healthz: %v: %s", err, b)
+	}
+	return h.Papers
+}
+
+func readBody(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+func waitExit(t *testing.T, cmd *exec.Cmd, timeout time.Duration) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		t.Fatal("process did not exit after SIGTERM")
+	}
+}

@@ -4,28 +4,40 @@
 //
 // Endpoints:
 //
-//	GET /experts?q=<text>&n=<count>&m=<papers>  -> JSON expert ranking
-//	GET /papers?q=<text>&m=<count>              -> JSON paper retrieval
-//	GET /similar?id=<paper>&m=<count>           -> JSON related papers
-//	GET /healthz                                -> build statistics
-//	GET /metrics                                -> Prometheus text metrics
-//	GET /debug/vars                             -> JSON metrics snapshot
-//	GET /debug/pprof/*                          -> profiling (with -pprof)
+//	GET  /experts?q=<text>&n=<count>&m=<papers> -> JSON expert ranking
+//	GET  /papers?q=<text>&m=<count>             -> JSON paper retrieval
+//	GET  /similar?id=<paper>&m=<count>          -> JSON related papers
+//	POST /add                                   -> accept one paper online
+//	GET  /healthz                               -> liveness + build statistics
+//	GET  /readyz                                -> readiness (503 while recovering)
+//	GET  /metrics                               -> Prometheus text metrics
+//	GET  /debug/vars                            -> JSON metrics snapshot
+//	GET  /debug/pprof/*                         -> profiling (with -pprof)
+//
+// With -data-dir the engine state is durable: a checksummed snapshot
+// plus a write-ahead log live under that directory, every acknowledged
+// POST /add is recorded before it is applied, and a restart — including
+// kill -9 — recovers exactly the acknowledged state. The listener opens
+// before recovery so /readyz honestly reports 503 until replay is done.
 //
 // Usage:
 //
 //	expertserve -dataset aminer -papers 1000 -addr :8080
-//	expertserve -graph g.json -engine engine.bin -addr :8080 -pprof
+//	expertserve -graph g.json -data-dir /var/lib/expertfind -addr :8080
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"expertfind/internal/cli"
 	"expertfind/internal/core"
+	"expertfind/internal/durable"
 	"expertfind/internal/hetgraph"
 	"expertfind/internal/obs"
 	"expertfind/internal/pgindex"
@@ -51,6 +63,13 @@ func main() {
 		queryTTL    = flag.Duration("query-cache-ttl", 5*time.Minute, "query-cache entry TTL (0 = no expiry)")
 		queryTO     = flag.Duration("query-timeout", 2*time.Second, "per-request query deadline, 504 past it (0 = none)")
 		maxInflight = flag.Int("max-inflight", 256, "concurrent query requests before shedding 503 (0 = unlimited)")
+
+		dataDir      = flag.String("data-dir", "", "durable state directory: snapshot + write-ahead log (enables crash recovery)")
+		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "background snapshot period with -data-dir (0 disables)")
+		fsyncPolicy  = flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
+		fsyncEvery   = flag.Duration("fsync-interval", 50*time.Millisecond, "flush period under -fsync interval")
+		walSegBytes  = flag.Int64("wal-segment-bytes", 4<<20, "WAL segment size before rotation")
+		drainTO      = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window for in-flight requests")
 	)
 	flag.Parse()
 
@@ -60,6 +79,14 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, lvl)
 
+	if *dataDir != "" && (*engineFile != "" || *saveFile != "") {
+		fail(fmt.Errorf("-data-dir owns engine persistence; it cannot be combined with -engine or -save"))
+	}
+	syncPolicy, err := durable.ParseSyncPolicy(*fsyncPolicy)
+	if err != nil {
+		fail(err)
+	}
+
 	// Wire the metrics sinks before the build so the offline phases
 	// (sampling, training epochs, indexing) are recorded too.
 	reg := obs.Default()
@@ -68,29 +95,29 @@ func main() {
 	ta.SetSink(reg)
 	train.SetSink(reg)
 
+	// Open the listener before recovery: load balancers immediately get
+	// an honest /readyz 503 instead of connection-refused, and flip to
+	// 200 only once the engine is recovered and WAL replay is complete.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	gate := serve.NewGate()
+	servErr := make(chan error, 1)
+	go func() {
+		servErr <- gate.ListenAndServeContext(ctx, *addr, *drainTO, nil, reg, logger)
+	}()
+	logger.Info("listening", "addr", *addr, "ready", false)
+
 	g, err := cli.LoadGraph(*graphFile, *preset, *papers)
 	if err != nil {
 		fail(err)
 	}
 
-	var engine *core.Engine
-	if *engineFile != "" {
-		f, err := os.Open(*engineFile)
-		if err != nil {
-			fail(err)
-		}
-		engine, err = core.Load(f, g)
-		f.Close()
-		if err != nil {
-			fail(err)
-		}
-		logger.Info("engine_loaded", "file", *engineFile)
-	} else {
+	build := func() (*core.Engine, error) {
 		logger.Info("build_start", "papers", g.NumNodesOfType(hetgraph.Paper),
 			"dim", *dim, "seed", *seed)
-		engine, err = core.Build(g, core.Options{Dim: *dim, Seed: *seed})
+		engine, err := core.Build(g, core.Options{Dim: *dim, Seed: *seed})
 		if err != nil {
-			fail(err)
+			return nil, err
 		}
 		st := engine.Stats()
 		logger.Info("build_done",
@@ -102,6 +129,49 @@ func main() {
 			"vocab", st.VocabSize,
 			"index_edges", st.IndexEdges,
 		)
+		return engine, nil
+	}
+
+	var engine *core.Engine
+	var store *core.Store
+	switch {
+	case *dataDir != "":
+		store, err = core.OpenStore(*dataDir, g, build, core.StoreOptions{
+			Sync:         syncPolicy,
+			SyncEvery:    *fsyncEvery,
+			SegmentBytes: *walSegBytes,
+			Metrics:      reg,
+			Logger:       logger,
+		})
+		if err != nil {
+			fail(err)
+		}
+		engine = store.Engine()
+		rec := store.Recovery()
+		logger.Info("recovered",
+			"dir", *dataDir,
+			"snapshot_loaded", rec.SnapshotLoaded,
+			"snapshot_seq", rec.SnapshotSeq,
+			"wal_replayed", rec.Replayed,
+			"torn_wal_tail", rec.TornWALTail,
+			"fsync", syncPolicy.String(),
+			"duration", rec.Duration,
+		)
+		if *snapInterval > 0 {
+			store.StartSnapshotLoop(*snapInterval)
+			logger.Info("snapshot_loop_started", "interval", *snapInterval)
+		}
+	case *engineFile != "":
+		engine, err = core.LoadFile(*engineFile, g)
+		if err != nil {
+			fail(err)
+		}
+		logger.Info("engine_loaded", "file", *engineFile)
+	default:
+		engine, err = build()
+		if err != nil {
+			fail(err)
+		}
 	}
 	if *saveFile != "" {
 		f, err := os.Create(*saveFile)
@@ -128,9 +198,40 @@ func main() {
 		srv.EnablePprof()
 		logger.Info("pprof_enabled", "path", "/debug/pprof/")
 	}
-	logger.Info("serving", "addr", *addr,
-		"query_timeout", *queryTO, "max_inflight", *maxInflight)
-	if err := srv.ListenAndServe(*addr); err != nil {
+	gate.Install(srv)
+	srv.SetReady(true)
+	logger.Info("serving", "addr", *addr, "ready", true,
+		"query_timeout", *queryTO, "max_inflight", *maxInflight, "durable", *dataDir != "")
+
+	// Block until SIGINT/SIGTERM cancels ctx (the gate then drains the
+	// listener) or the listener itself fails. Readiness flips off first
+	// so probes stop routing here while in-flight requests finish.
+	err = func() error {
+		select {
+		case err := <-servErr:
+			return err
+		case <-ctx.Done():
+			srv.SetReady(false)
+			return <-servErr
+		}
+	}()
+	if err != nil {
+		logger.Error("listener_failed", "err", err)
+	}
+	if store != nil {
+		// Final snapshot + WAL close: everything acknowledged is now in
+		// the snapshot and the next boot replays nothing.
+		if cerr := store.Close(); cerr != nil {
+			logger.Error("store_close_failed", "err", cerr)
+			if err == nil {
+				err = cerr
+			}
+		} else {
+			logger.Info("store_closed", "dir", *dataDir)
+		}
+	}
+	logger.Info("shutdown_complete")
+	if err != nil {
 		fail(err)
 	}
 }

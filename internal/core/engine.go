@@ -150,6 +150,15 @@ type Engine struct {
 	qcache *queryCache
 	// flights coalesces concurrent identical cache misses.
 	flights flightGroup
+
+	// wal, when attached, records every accepted update before it is
+	// applied (see SetUpdateLog); nil runs memory-only.
+	wal UpdateLog
+	// updates journals every accepted online update since the offline
+	// build, in order — Save embeds it so snapshots capture live state.
+	updates []NewPaper
+	// walSeq is the WAL sequence of the most recent applied update.
+	walSeq uint64
 }
 
 // Build runs the offline pipeline over g: vocabulary induction,

@@ -1,11 +1,12 @@
 package core
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
 
+	"expertfind/internal/durable"
 	"expertfind/internal/hetgraph"
 	"expertfind/internal/obs"
 	"expertfind/internal/pgindex"
@@ -17,12 +18,26 @@ import (
 
 // The offline pipeline (§III) runs once; the online stage (§IV) serves
 // queries. Save and Load split the two across process lifetimes: Save
-// writes the fine-tuned parameters Θ_B and configuration after a build,
-// and Load restores a query-ready engine against the same graph,
-// re-deriving the embeddings E and the PG-Index deterministically from
-// Θ_B (cheap next to training, and far smaller on disk).
+// writes the fine-tuned parameters Θ_B, the configuration, and the
+// journal of online updates accepted since the build; Load restores a
+// query-ready engine against the same base graph, re-deriving the
+// embeddings E and the PG-Index deterministically from Θ_B and then
+// re-applying the journalled updates (cheap next to training, and far
+// smaller on disk).
+//
+// On disk an engine is a durable.Container: magic + format version +
+// CRC-32C over a gob payload, written via atomic temp-file-plus-rename
+// replacement. A truncated, bit-flipped, foreign or future-versioned
+// file is rejected with a typed error (durable.ErrTruncated,
+// durable.ErrChecksum, durable.ErrBadMagic, *durable.VersionError)
+// before a single payload byte is interpreted — never a cryptic mid-gob
+// failure, and never a silently half-loaded engine.
 
-// enginePersist is the gob-encoded on-disk form of an engine.
+// snapshotVersion is the current container format version; bump it when
+// snapshotPayload changes incompatibly.
+const snapshotVersion = 1
+
+// enginePersist is the gob-encoded form of the engine's static state.
 type enginePersist struct {
 	// Options echoes the build configuration (function-typed and pointer
 	// fields excluded).
@@ -48,23 +63,96 @@ type enginePersist struct {
 	NumDocs  int
 }
 
-// Save serialises the engine's fine-tuned encoder and configuration. It
-// holds the engine's read lock, so it can run while queries are served
-// but not mid-update.
+// persistUpdate is the on-disk form of one accepted AddPaper, both in
+// snapshot journals and in WAL records.
+type persistUpdate struct {
+	Text    string
+	Authors []int32
+	Venues  []int32
+	Topics  []int32
+	Cites   []int32
+}
+
+func toPersistUpdate(p NewPaper) persistUpdate {
+	return persistUpdate{
+		Text:    p.Text,
+		Authors: idsToInt32(p.Authors),
+		Venues:  idsToInt32(p.Venues),
+		Topics:  idsToInt32(p.Topics),
+		Cites:   idsToInt32(p.Cites),
+	}
+}
+
+func (u persistUpdate) toNewPaper() NewPaper {
+	return NewPaper{
+		Text:    u.Text,
+		Authors: int32ToIDs(u.Authors),
+		Venues:  int32ToIDs(u.Venues),
+		Topics:  int32ToIDs(u.Topics),
+		Cites:   int32ToIDs(u.Cites),
+	}
+}
+
+func idsToInt32(ids []hetgraph.NodeID) []int32 {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		out[i] = int32(id)
+	}
+	return out
+}
+
+func int32ToIDs(ids []int32) []hetgraph.NodeID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]hetgraph.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = hetgraph.NodeID(id)
+	}
+	return out
+}
+
+// snapshotPayload is the complete gob payload inside the container: the
+// static engine state plus the journal of online updates it has
+// accepted, and the WAL sequence the journal reaches. Restoring the
+// payload therefore reproduces the live state, and WAL replay only
+// needs records past LastSeq.
+type snapshotPayload struct {
+	Engine  enginePersist
+	Updates []persistUpdate
+	LastSeq uint64
+}
+
+// Save serialises the engine — fine-tuned encoder, configuration, and
+// the journal of accepted online updates — as a versioned, checksummed
+// container. It holds the engine's read lock, so it can run while
+// queries are served but not mid-update.
 func (e *Engine) Save(w io.Writer) error {
+	_, err := e.SaveSnapshot(w)
+	return err
+}
+
+// SaveSnapshot is Save returning the WAL sequence number the written
+// snapshot covers: every update with sequence <= lastSeq is inside the
+// snapshot, so WAL segments up to it can be truncated once the bytes
+// are durably on disk.
+func (e *Engine) SaveSnapshot(w io.Writer) (lastSeq uint64, err error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	bw := bufio.NewWriter(w)
 	enc := e.enc
 	vocab := enc.Vocab()
-	p := enginePersist{
+	p := snapshotPayload{LastSeq: e.walSeq}
+	p.Engine = enginePersist{
 		K:                   e.opts.K,
 		SampleFraction:      e.opts.SampleFraction,
 		NegStrategy:         uint8(e.opts.NegStrategy),
 		NegPerPos:           e.opts.NegPerPos,
 		MaxPositivesPerSeed: e.opts.MaxPositivesPerSeed,
 		Dim:                 e.opts.Dim,
-		Pooling:             uint8(e.opts.Pooling),
+		Pooling:             uint8(e.enc.Pooling),
 		EF:                  e.opts.EF,
 		Seed:                e.opts.Seed,
 		UsePGIndex:          boolOpt(e.opts.UsePGIndex, true),
@@ -74,48 +162,95 @@ func (e *Engine) Save(w io.Writer) error {
 		NumDocs:             vocab.NumDocs(),
 	}
 	for _, mp := range e.opts.MetaPaths {
-		p.MetaPaths = append(p.MetaPaths, mp.String())
+		p.Engine.MetaPaths = append(p.Engine.MetaPaths, mp.String())
 	}
-	p.Tokens = make([]string, vocab.Size())
-	p.DocFreqs = make([]int, vocab.Size())
+	p.Engine.Tokens = make([]string, vocab.Size())
+	p.Engine.DocFreqs = make([]int, vocab.Size())
 	for id := 0; id < vocab.Size(); id++ {
-		p.Tokens[id] = vocab.Token(textencTokenID(id))
-		p.DocFreqs[id] = vocab.DocFreq(textencTokenID(id))
+		p.Engine.Tokens[id] = vocab.Token(textencTokenID(id))
+		p.Engine.DocFreqs[id] = vocab.DocFreq(textencTokenID(id))
 	}
-	if err := gob.NewEncoder(bw).Encode(&p); err != nil {
-		return fmt.Errorf("core: save: %w", err)
+	p.Updates = make([]persistUpdate, len(e.updates))
+	for i, u := range e.updates {
+		p.Updates[i] = toPersistUpdate(u)
 	}
-	return bw.Flush()
+
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&p); err != nil {
+		return 0, fmt.Errorf("core: save: %w", err)
+	}
+	if err := durable.WriteContainer(w, snapshotVersion, payload.Bytes()); err != nil {
+		return 0, fmt.Errorf("core: save: %w", err)
+	}
+	return e.walSeq, nil
 }
 
-// Load restores an engine saved with Save, re-embedding every paper of g
-// with the restored fine-tuned encoder and rebuilding the PG-Index. The
-// graph must be the one the engine was built over (same node ids); Load
-// cannot verify that beyond basic shape checks.
+// Load restores an engine saved with Save: it verifies the container
+// (magic, version, checksum), decodes the payload, re-embeds every
+// paper of g with the restored fine-tuned encoder, rebuilds the
+// PG-Index, and re-applies the journalled online updates. The graph
+// must be the base graph the engine was built over (same node ids);
+// Load cannot verify that beyond shape checks.
+//
+// Failure modes are typed: errors.Is(err, durable.ErrTruncated /
+// ErrChecksum / ErrBadMagic) and errors.As(&durable.VersionError{},
+// &durable.CorruptError{}) distinguish damage classes, and every decode
+// error carries the byte offset where parsing stopped.
 func Load(r io.Reader, g *hetgraph.Graph) (*Engine, error) {
-	var p enginePersist
-	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&p); err != nil {
+	return loadNamed(r, "<stream>", g)
+}
+
+// LoadFile is Load with path context in every error.
+func LoadFile(path string, g *hetgraph.Graph) (*Engine, error) {
+	version, payload, err := durable.ReadContainerFile(path, snapshotVersion)
+	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
-	if p.Dim <= 0 || len(p.Tokens) == 0 || len(p.EmbData) != len(p.Tokens)*p.Dim {
-		return nil, fmt.Errorf("core: load: corrupt engine file (dim %d, %d tokens, %d weights)",
-			p.Dim, len(p.Tokens), len(p.EmbData))
+	return loadPayload(version, payload, path, g)
+}
+
+func loadNamed(r io.Reader, name string, g *hetgraph.Graph) (*Engine, error) {
+	version, payload, err := durable.ReadContainer(r, name, snapshotVersion)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	return loadPayload(version, payload, name, g)
+}
+
+func loadPayload(version uint16, payload []byte, name string, g *hetgraph.Graph) (*Engine, error) {
+	// version is validated by ReadContainer; today only one exists.
+	_ = version
+	var p snapshotPayload
+	cr := &countingReader{r: bytes.NewReader(payload)}
+	if err := gob.NewDecoder(cr).Decode(&p); err != nil {
+		// The payload passed its checksum, so a gob failure means the
+		// snapshot was written by an incompatible build — report it with
+		// position context instead of a bare "gob: ..." message.
+		return nil, fmt.Errorf("core: load: %w", &durable.CorruptError{
+			Path: name, Offset: cr.n, Detail: "engine gob payload", Err: err})
+	}
+	if p.Engine.Dim <= 0 || len(p.Engine.Tokens) == 0 ||
+		len(p.Engine.EmbData) != len(p.Engine.Tokens)*p.Engine.Dim {
+		return nil, fmt.Errorf("core: load: %w", &durable.CorruptError{
+			Path: name, Offset: 0, Detail: "engine shape",
+			Err: fmt.Errorf("dim %d, %d tokens, %d weights", p.Engine.Dim,
+				len(p.Engine.Tokens), len(p.Engine.EmbData))})
 	}
 
 	opts := Options{
-		K:                   p.K,
-		SampleFraction:      p.SampleFraction,
-		NegPerPos:           p.NegPerPos,
-		MaxPositivesPerSeed: p.MaxPositivesPerSeed,
-		Dim:                 p.Dim,
-		EF:                  p.EF,
-		Seed:                p.Seed,
-		Index:               p.IndexConfig,
-		UsePGIndex:          Bool(p.UsePGIndex),
-		UseTA:               Bool(p.UseTA),
+		K:                   p.Engine.K,
+		SampleFraction:      p.Engine.SampleFraction,
+		NegPerPos:           p.Engine.NegPerPos,
+		MaxPositivesPerSeed: p.Engine.MaxPositivesPerSeed,
+		Dim:                 p.Engine.Dim,
+		EF:                  p.Engine.EF,
+		Seed:                p.Engine.Seed,
+		Index:               p.Engine.IndexConfig,
+		UsePGIndex:          Bool(p.Engine.UsePGIndex),
+		UseTA:               Bool(p.Engine.UseTA),
 	}
-	opts.NegStrategy = samplingStrategy(p.NegStrategy)
-	for _, s := range p.MetaPaths {
+	opts.NegStrategy = samplingStrategy(p.Engine.NegStrategy)
+	for _, s := range p.Engine.MetaPaths {
 		mp, err := hetgraph.ParseMetaPath(s)
 		if err != nil {
 			return nil, fmt.Errorf("core: load: %w", err)
@@ -123,7 +258,7 @@ func Load(r io.Reader, g *hetgraph.Graph) (*Engine, error) {
 		opts.MetaPaths = append(opts.MetaPaths, mp)
 	}
 
-	enc, err := restoreEncoder(&p)
+	enc, err := restoreEncoder(&p.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -131,13 +266,51 @@ func Load(r io.Reader, g *hetgraph.Graph) (*Engine, error) {
 	e := &Engine{g: g, opts: opts, enc: enc, reg: obs.Default()}
 	e.cache = train.BuildTokenCache(g, enc)
 	e.Embeddings = train.EmbedAll(enc, e.cache)
-	e.stats.VocabSize = len(p.Tokens)
-	if p.UsePGIndex {
+	e.stats.VocabSize = len(p.Engine.Tokens)
+	if p.Engine.UsePGIndex {
 		e.index = pgindex.Build(e.Embeddings, opts.Index)
 		e.stats.IndexEdges = e.index.NumEdges()
 		e.stats.IndexMemory = e.index.MemoryBytes()
 	}
+
+	// Re-apply the journalled online updates in order. The engine is not
+	// yet shared, but applyUpdate requires the write lock for its cache
+	// invariants, so take it the normal way.
+	for i, u := range p.Updates {
+		np := u.toNewPaper()
+		e.mu.Lock()
+		err := func() error {
+			if verr := e.validateNewPaper(np); verr != nil {
+				return verr
+			}
+			_, aerr := e.applyUpdateLocked(np, 0)
+			return aerr
+		}()
+		e.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("core: load: %w", &durable.CorruptError{
+				Path: name, Offset: 0,
+				Detail: fmt.Sprintf("journalled update %d/%d", i+1, len(p.Updates)),
+				Err:    err})
+		}
+	}
+	e.mu.Lock()
+	e.walSeq = p.LastSeq
+	e.mu.Unlock()
 	return e, nil
+}
+
+// countingReader tracks bytes consumed so decode errors can report how
+// far into the payload parsing got.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // SaveEmbeddings writes E itself (paper id, vector) with gob, for
@@ -146,7 +319,6 @@ func Load(r io.Reader, g *hetgraph.Graph) (*Engine, error) {
 func (e *Engine) SaveEmbeddings(w io.Writer) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	bw := bufio.NewWriter(w)
 	type pair struct {
 		ID  hetgraph.NodeID
 		Vec vec.Vector
@@ -155,10 +327,12 @@ func (e *Engine) SaveEmbeddings(w io.Writer) error {
 	for _, p := range e.g.NodesOfType(hetgraph.Paper) {
 		pairs = append(pairs, pair{ID: p, Vec: e.Embeddings[p]})
 	}
-	if err := gob.NewEncoder(bw).Encode(pairs); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(pairs); err != nil {
 		return fmt.Errorf("core: save embeddings: %w", err)
 	}
-	return bw.Flush()
+	_, err := w.Write(buf.Bytes())
+	return err
 }
 
 // textencTokenID converts a dense id to the tokenizer's id type; split out

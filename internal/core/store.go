@@ -1,0 +1,321 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"expertfind/internal/durable"
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/obs"
+)
+
+// Store is the durable home of a live engine: a snapshot file holding
+// the last checkpointed state and a write-ahead log holding every
+// update accepted since. Opening a store recovers exactly the state
+// that was acknowledged before the previous process died — snapshot
+// first, then WAL replay — and attaches the log so new updates keep
+// the invariant. Periodic snapshots bound replay time and let old WAL
+// segments be reclaimed.
+//
+// Layout under Dir:
+//
+//	snapshot.efs   versioned, checksummed engine snapshot (atomic writes)
+//	wal/           segmented write-ahead log of accepted updates
+//
+// Corrupt state is never served silently: a damaged snapshot or a
+// damaged WAL interior aborts OpenStore with a typed error (see
+// internal/durable); only a torn tail on the final WAL segment — the
+// signature of a crash mid-append, by definition unacknowledged — is
+// truncated and recovered past.
+type Store struct {
+	dir    string
+	engine *Engine
+	wal    *durable.WAL
+	reg    *obs.Registry
+	log    *obs.Logger
+	info   RecoveryInfo
+
+	mu       sync.Mutex // serialises Snapshot/Close
+	closed   bool
+	lastSnap time.Time
+
+	stopLoop chan struct{}
+	loopDone chan struct{}
+}
+
+// StoreOptions configures OpenStore. Zero values mean: SyncAlways,
+// 4 MiB WAL segments, the process-wide metrics registry, no logging.
+type StoreOptions struct {
+	// Sync is the WAL fsync policy; it decides what "acknowledged" buys
+	// (see durable.SyncPolicy).
+	Sync durable.SyncPolicy
+	// SyncEvery is the flush period under SyncInterval.
+	SyncEvery time.Duration
+	// SegmentBytes caps WAL segment size before rotation.
+	SegmentBytes int64
+	// Metrics receives recovery and snapshot metrics (nil: obs.Default()).
+	Metrics *obs.Registry
+	// Logger receives recovery progress lines (nil: silent).
+	Logger *obs.Logger
+}
+
+// RecoveryInfo reports what OpenStore found and did.
+type RecoveryInfo struct {
+	// SnapshotLoaded is true when a snapshot file was restored (false:
+	// the engine came from the build function).
+	SnapshotLoaded bool
+	// SnapshotSeq is the WAL sequence the snapshot covered.
+	SnapshotSeq uint64
+	// Replayed is the number of WAL records applied on top.
+	Replayed int
+	// TornWALTail reports a truncated partial record on the final WAL
+	// segment — expected after a crash mid-append.
+	TornWALTail bool
+	// Duration is the wall time of the whole recovery.
+	Duration time.Duration
+}
+
+// SnapshotFileName is the snapshot's name inside a store directory.
+const SnapshotFileName = "snapshot.efs"
+
+// OpenStore opens (creating if absent) the durable store in dir and
+// recovers the engine: load the snapshot if one exists, otherwise run
+// build (typically a fresh offline Build); then replay WAL records past
+// the snapshot's sequence; then attach the WAL so subsequent AddPaper
+// calls are logged before they apply. When the store is brand new an
+// initial snapshot is written immediately, so a later restart never
+// repeats the expensive build.
+func OpenStore(dir string, g *hetgraph.Graph, build func() (*Engine, error), o StoreOptions) (*Store, error) {
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	log := o.Logger
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: open store: %w", err)
+	}
+	s := &Store{dir: dir, reg: reg, log: log}
+	ctx, root := obs.StartSpan(obs.WithRegistry(context.Background(), reg), "recover")
+
+	// Phase 1: restore the checkpointed state.
+	snapPath := filepath.Join(dir, SnapshotFileName)
+	_, sp := obs.StartSpan(ctx, "snapshot")
+	hadSnapshot := false
+	if st, err := os.Stat(snapPath); err == nil {
+		e, err := LoadFile(snapPath, g)
+		if err != nil {
+			root.End()
+			return nil, err // typed: checksum/truncation/version context intact
+		}
+		s.engine, hadSnapshot = e, true
+		s.info.SnapshotLoaded = true
+		s.info.SnapshotSeq = e.LastUpdateSeq()
+		s.lastSnap = st.ModTime()
+		log.Info("store_snapshot_loaded", "file", snapPath,
+			"seq", s.info.SnapshotSeq, "age", time.Since(st.ModTime()).Round(time.Second))
+	} else if !os.IsNotExist(err) {
+		root.End()
+		return nil, fmt.Errorf("core: open store: %w", err)
+	} else {
+		e, err := build()
+		if err != nil {
+			root.End()
+			return nil, err
+		}
+		s.engine = e
+		log.Info("store_built_fresh", "dir", dir)
+	}
+	sp.End()
+
+	// Phase 2: open the log (validating every record) and replay what
+	// the snapshot does not cover.
+	_, sp = obs.StartSpan(ctx, "wal_replay")
+	wal, err := durable.OpenWAL(filepath.Join(dir, "wal"), durable.WALOptions{
+		Sync:         o.Sync,
+		SyncEvery:    o.SyncEvery,
+		SegmentBytes: o.SegmentBytes,
+	})
+	if err != nil {
+		root.End()
+		return nil, err
+	}
+	s.wal = wal
+	s.info.TornWALTail = wal.Stats().TornTail
+	after := s.engine.LastUpdateSeq()
+	err = wal.Replay(after, func(seq uint64, payload []byte) error {
+		p, derr := DecodeUpdate(payload)
+		if derr != nil {
+			return &durable.CorruptError{Path: wal.Dir(), Offset: 0,
+				Detail: fmt.Sprintf("update record seq %d", seq), Err: derr}
+		}
+		if _, aerr := s.engine.ApplyLogged(p, seq); aerr != nil {
+			return fmt.Errorf("core: replay of update seq %d failed: %w", seq, aerr)
+		}
+		s.info.Replayed++
+		return nil
+	})
+	if err != nil {
+		wal.Close()
+		root.End()
+		return nil, err
+	}
+	sp.End()
+	s.engine.SetUpdateLog(wal)
+	s.info.Duration = root.End()
+
+	reg.Counter("expertfind_recovery_wal_records_replayed_total",
+		"WAL records re-applied during store recovery.").Add(float64(s.info.Replayed))
+	reg.Counter("expertfind_recovery_torn_wal_tails_total",
+		"Torn WAL tails truncated during store recovery.").Add(b2f(s.info.TornWALTail))
+	reg.Gauge("expertfind_recovery_seconds",
+		"Duration of the most recent store recovery.").Set(s.info.Duration.Seconds())
+	s.setSnapshotGauges()
+	log.Info("store_recovered",
+		"snapshot", s.info.SnapshotLoaded,
+		"replayed", s.info.Replayed,
+		"torn_tail", s.info.TornWALTail,
+		"dur", s.info.Duration.Round(time.Millisecond))
+
+	// A fresh store checkpoints immediately: the build is deterministic
+	// but expensive, and the next boot should not pay for it again.
+	if !hadSnapshot {
+		if err := s.Snapshot(); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Engine returns the recovered engine. Updates through it are logged.
+func (s *Store) Engine() *Engine { return s.engine }
+
+// Recovery reports what OpenStore found and did.
+func (s *Store) Recovery() RecoveryInfo { return s.info }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Snapshot checkpoints the live engine: it serialises the engine plus
+// its update journal into the versioned container, atomically replaces
+// the snapshot file (temp + fsync + rename), and only then truncates
+// WAL segments the new snapshot covers. A crash at any point leaves
+// either the old snapshot with its WAL or the new snapshot with a
+// shorter one — both recover to the same state.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return durable.ErrClosed
+	}
+	start := time.Now()
+	var buf bytes.Buffer
+	seq, err := s.engine.SaveSnapshot(&buf)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, SnapshotFileName)
+	if err := durable.AtomicWriteFile(path, buf.Bytes(), true); err != nil {
+		return err
+	}
+	if err := s.wal.TruncateThrough(seq); err != nil {
+		return err
+	}
+	s.lastSnap = time.Now()
+	s.reg.Counter("expertfind_snapshots_total", "Engine snapshots written.").Inc()
+	s.reg.Gauge("expertfind_snapshot_bytes", "Size of the most recent snapshot.").
+		Set(float64(buf.Len()))
+	s.reg.Histogram("expertfind_snapshot_seconds",
+		"Time to serialise and persist one snapshot.", nil).
+		Observe(time.Since(start).Seconds())
+	s.setSnapshotGauges()
+	s.log.Info("store_snapshot_written", "file", path, "bytes", buf.Len(),
+		"seq", seq, "dur", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// StartSnapshotLoop checkpoints every interval until Close. Errors are
+// logged and counted, not fatal — the WAL still holds everything, so a
+// failed snapshot costs replay time, not data.
+func (s *Store) StartSnapshotLoop(interval time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.stopLoop != nil || interval <= 0 {
+		return
+	}
+	s.stopLoop = make(chan struct{})
+	s.loopDone = make(chan struct{})
+	go s.snapshotLoop(interval, s.stopLoop, s.loopDone)
+}
+
+func (s *Store) snapshotLoop(interval time.Duration, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			if err := s.Snapshot(); err != nil {
+				s.reg.Counter("expertfind_snapshot_failures_total",
+					"Periodic snapshots that failed.").Inc()
+				s.log.Error("store_snapshot_failed", "err", err.Error())
+			}
+		}
+	}
+}
+
+// Close writes a final snapshot, then flushes and closes the WAL. The
+// store is unusable afterwards. Safe to call twice.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	stop, done := s.stopLoop, s.loopDone
+	s.stopLoop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+
+	err := s.Snapshot()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	if cerr := s.wal.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// setSnapshotGauges publishes snapshot freshness; callers hold s.mu or
+// run before the store is shared.
+func (s *Store) setSnapshotGauges() {
+	if s.lastSnap.IsZero() {
+		return
+	}
+	s.reg.Gauge("expertfind_snapshot_last_unix_seconds",
+		"Unix time of the most recent snapshot.").Set(float64(s.lastSnap.Unix()))
+	s.reg.Gauge("expertfind_snapshot_age_seconds",
+		"Age of the most recent snapshot at the last store event.").
+		Set(time.Since(s.lastSnap).Seconds())
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Container format — the on-disk envelope for engine snapshots.
+//
+//	offset  size  field
+//	0       6     magic "EFSNAP"
+//	6       2     format version (uint16, little-endian)
+//	8       8     payload length (uint64, little-endian)
+//	16      4     CRC-32C of the payload (uint32, little-endian)
+//	20      n     payload
+//
+// The header is checked before a single payload byte is interpreted, so
+// a truncated, bit-flipped or foreign file is rejected with a typed
+// error instead of a cryptic decode failure deep inside gob.
+
+var containerMagic = [6]byte{'E', 'F', 'S', 'N', 'A', 'P'}
+
+const (
+	containerHeaderSize = 20
+	// MaxPayloadBytes bounds a declared payload length so a corrupt
+	// header cannot drive an allocation of hundreds of gigabytes.
+	MaxPayloadBytes = int64(1) << 32
+)
+
+// WriteContainer writes payload to w wrapped in the versioned,
+// checksummed container envelope.
+func WriteContainer(w io.Writer, version uint16, payload []byte) error {
+	var hdr [containerHeaderSize]byte
+	copy(hdr[:6], containerMagic[:])
+	binary.LittleEndian.PutUint16(hdr[6:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:20], Checksum(payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("durable: write container header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("durable: write container payload: %w", err)
+	}
+	return nil
+}
+
+// ReadContainer reads and verifies a container from r. name labels the
+// source in errors (a path, or "<stream>"). maxVersion is the newest
+// format version the caller understands; newer files yield a
+// *VersionError so an old binary never misreads a future layout.
+// Trailing bytes after the payload are corruption (a concatenated or
+// doubly-written file) and are rejected.
+func ReadContainer(r io.Reader, name string, maxVersion uint16) (version uint16, payload []byte, err error) {
+	var hdr [containerHeaderSize]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, &CorruptError{Path: name, Offset: int64(n),
+				Detail: "container header", Err: ErrTruncated}
+		}
+		return 0, nil, fmt.Errorf("durable: %s: read header: %w", name, err)
+	}
+	if [6]byte(hdr[:6]) != containerMagic {
+		return 0, nil, &CorruptError{Path: name, Offset: 0,
+			Detail: "container magic", Err: ErrBadMagic}
+	}
+	version = binary.LittleEndian.Uint16(hdr[6:8])
+	if version == 0 || version > maxVersion {
+		return 0, nil, &VersionError{Path: name, Got: version, Max: maxVersion}
+	}
+	plen := binary.LittleEndian.Uint64(hdr[8:16])
+	if int64(plen) < 0 || int64(plen) > MaxPayloadBytes {
+		return 0, nil, &CorruptError{Path: name, Offset: 8,
+			Detail: "container payload length", Err: ErrChecksum}
+	}
+	want := binary.LittleEndian.Uint32(hdr[16:20])
+	payload = make([]byte, plen)
+	n, err = io.ReadFull(r, payload)
+	if err != nil {
+		return 0, nil, &CorruptError{Path: name, Offset: containerHeaderSize + int64(n),
+			Detail: "container payload", Err: ErrTruncated}
+	}
+	if got := Checksum(payload); got != want {
+		return 0, nil, &CorruptError{Path: name, Offset: containerHeaderSize,
+			Detail: "container payload", Err: ErrChecksum}
+	}
+	// One extra readable byte past the payload means the file holds more
+	// than its header declares — reject rather than silently ignore.
+	var one [1]byte
+	if n, _ := r.Read(one[:]); n != 0 {
+		return 0, nil, &CorruptError{Path: name, Offset: containerHeaderSize + int64(plen),
+			Detail: "trailing bytes after payload", Err: ErrChecksum}
+	}
+	return version, payload, nil
+}
+
+// ReadContainerFile opens path and reads its container.
+func ReadContainerFile(path string, maxVersion uint16) (uint16, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	return ReadContainer(f, path, maxVersion)
+}
+
+// WriteContainerFile atomically replaces path with a container around
+// payload (see AtomicWriteFile for the crash-safety argument).
+func WriteContainerFile(path string, version uint16, payload []byte, sync bool) error {
+	buf := make([]byte, 0, containerHeaderSize+len(payload))
+	var hdr [containerHeaderSize]byte
+	copy(hdr[:6], containerMagic[:])
+	binary.LittleEndian.PutUint16(hdr[6:8], version)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[16:20], Checksum(payload))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	return AtomicWriteFile(path, buf, sync)
+}

@@ -1,0 +1,147 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestContainerRoundTrip(t *testing.T) {
+	payload := []byte("the engine snapshot payload, opaque to durable")
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, 3, payload); err != nil {
+		t.Fatal(err)
+	}
+	v, got, err := ReadContainer(bytes.NewReader(buf.Bytes()), "<stream>", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 3 || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: version %d payload %q", v, got)
+	}
+}
+
+func TestContainerEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := ReadContainer(bytes.NewReader(buf.Bytes()), "<stream>", 1)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty payload: %v, %d bytes", err, len(got))
+	}
+}
+
+func TestContainerRejectsBadMagic(t *testing.T) {
+	data := []byte("GOBGOBGOB this is not a container at all........")
+	_, _, err := ReadContainer(bytes.NewReader(data), "f", 1)
+	if !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("want ErrBadMagic, got %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %T", err)
+	}
+}
+
+func TestContainerRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, 9, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadContainer(bytes.NewReader(buf.Bytes()), "f", 2)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want *VersionError, got %v", err)
+	}
+	if ve.Got != 9 || ve.Max != 2 {
+		t.Fatalf("version error fields: %+v", ve)
+	}
+}
+
+func TestContainerRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, 1, bytes.Repeat([]byte("p"), 100)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every proper prefix must be rejected as truncated.
+	for _, cut := range []int{0, 3, containerHeaderSize - 1, containerHeaderSize, len(full) - 1} {
+		_, _, err := ReadContainer(bytes.NewReader(full[:cut]), "f", 1)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut at %d: want ErrTruncated, got %v", cut, err)
+		}
+	}
+}
+
+func TestContainerRejectsBitFlips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, 1, bytes.Repeat([]byte("payload"), 20)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Flip one byte at every offset; every flip must be detected.
+	for off := 0; off < len(full); off++ {
+		r := &FlipReader{R: bytes.NewReader(full), Offset: int64(off), Mask: 0x40}
+		_, _, err := ReadContainer(r, "f", 1)
+		if err == nil {
+			t.Fatalf("bit flip at offset %d went undetected", off)
+		}
+		var ce *CorruptError
+		var ve *VersionError
+		if !errors.As(err, &ce) && !errors.As(err, &ve) {
+			t.Fatalf("flip at %d: untyped error %T %v", off, err, err)
+		}
+	}
+}
+
+func TestContainerRejectsTrailingBytes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, 1, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("extra")
+	_, _, err := ReadContainer(bytes.NewReader(buf.Bytes()), "f", 1)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("want ErrChecksum for trailing bytes, got %v", err)
+	}
+}
+
+func TestContainerFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := WriteContainerFile(path, 1, []byte("first"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteContainerFile(path, 1, []byte("second"), true); err != nil {
+		t.Fatal(err)
+	}
+	_, payload, err := ReadContainerFile(path, 1)
+	if err != nil || string(payload) != "second" {
+		t.Fatalf("got %q, %v", payload, err)
+	}
+	// No temp files may linger after successful replaces.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("directory not clean after atomic writes: %d entries", len(ents))
+	}
+}
+
+func TestAtomicWriteFailureKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := WriteContainerFile(path, 1, []byte("good"), true); err != nil {
+		t.Fatal(err)
+	}
+	// Writing into a removed directory must fail without touching path.
+	bad := filepath.Join(dir, "gone", "snap.bin")
+	if err := AtomicWriteFile(bad, []byte("x"), true); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	_, payload, err := ReadContainerFile(path, 1)
+	if err != nil || string(payload) != "good" {
+		t.Fatalf("old file damaged: %q, %v", payload, err)
+	}
+}

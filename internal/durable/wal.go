@@ -1,0 +1,591 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Write-ahead log. Records are appended to segment files named
+// wal-<firstSeq, 16 hex digits>.log; a segment seals when it grows past
+// SegmentBytes and a new one opens. Each record is self-checking:
+//
+//	offset  size  field
+//	0       4     payload length (uint32, little-endian)
+//	4       4     CRC-32C over seq||payload (uint32, little-endian)
+//	8       8     sequence number (uint64, little-endian)
+//	16      n     payload
+//
+// Sequence numbers start at 1 and increase by exactly 1 per record
+// across segments, so replay can both detect gaps and resume from the
+// sequence a snapshot already covers.
+//
+// Corruption policy: a record that ends early (short header or short
+// payload) in the FINAL segment is a torn write — the expected residue
+// of a crash mid-append. It is truncated away at open and reported in
+// ReplayStats. Everything else — a checksum mismatch anywhere, a torn
+// record that is not last, a gap in sequence numbers — is real damage
+// and surfaces as a *CorruptError; the caller must fail loudly rather
+// than serve a state with silent holes in it.
+
+// recordHeaderSize is the fixed prefix of every WAL record.
+const recordHeaderSize = 16
+
+// MaxRecordBytes bounds one record's payload; a longer declared length
+// is treated as a corrupt header.
+const MaxRecordBytes = 64 << 20
+
+// SyncPolicy selects when appended records are fsynced to stable
+// storage, trading acknowledgement latency for durability.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged record is
+	// durable before Append returns. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (WALOptions.SyncEvery):
+	// an acknowledged record may be lost if the machine dies within one
+	// interval. A process crash (kill -9) alone loses nothing — the
+	// bytes are already in the page cache.
+	SyncInterval
+	// SyncNever leaves flushing to the OS entirely.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy maps the -fsync flag values onto a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// WALOptions configures OpenWAL. The zero value is usable: 4 MiB
+// segments, SyncAlways.
+type WALOptions struct {
+	// SegmentBytes seals a segment once it grows past this (default 4 MiB).
+	SegmentBytes int64
+	// Sync selects the fsync policy.
+	Sync SyncPolicy
+	// SyncEvery is the flush period under SyncInterval (default 50ms).
+	SyncEvery time.Duration
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 50 * time.Millisecond
+	}
+	return o
+}
+
+// ReplayStats reports what opening a WAL found on disk.
+type ReplayStats struct {
+	// Segments is the number of segment files present at open.
+	Segments int
+	// Records is the number of valid records found at open.
+	Records int
+	// LastSeq is the highest sequence number on disk (0 when empty).
+	LastSeq uint64
+	// TornTail reports that the final segment ended in a partial record,
+	// which was truncated away.
+	TornTail bool
+	// TruncatedBytes is the size of the discarded torn tail.
+	TruncatedBytes int64
+}
+
+// WAL is an append-only, segmented, checksummed log. All methods are
+// safe for concurrent use; appends are serialised internally.
+type WAL struct {
+	dir  string
+	opts WALOptions
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	size     int64    // bytes written to the active segment
+	segFirst uint64   // first sequence in the active segment
+	segRecs  int      // records in the active segment
+	nextSeq  uint64
+	dirty    bool // records appended since the last fsync
+	closed   bool
+
+	stats ReplayStats
+
+	stopSync chan struct{} // closes the SyncInterval flusher
+	syncDone chan struct{}
+}
+
+// OpenWAL opens (creating if needed) the log in dir, scans and
+// validates every existing record, truncates a torn tail off the final
+// segment, and readies the log for appends after the highest sequence
+// found. Damage other than a torn tail aborts the open with a typed
+// error.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: open WAL: %w", err)
+	}
+	w := &WAL{dir: dir, opts: opts, nextSeq: 1}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	w.stats.Segments = len(segs)
+	// Validate every segment; the last may have a torn tail. expect=0 for
+	// the first segment: a snapshot may have truncated earlier ones, so
+	// the log legitimately starts past sequence 1.
+	var expect uint64
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		res, err := scanSegment(seg.path, seg.firstSeq, expect, last, nil)
+		if err != nil {
+			return nil, err
+		}
+		if res.lastSeq > 0 {
+			expect = res.lastSeq + 1
+		}
+		w.stats.Records += res.records
+		if res.lastSeq > 0 {
+			w.nextSeq = res.lastSeq + 1
+			w.stats.LastSeq = res.lastSeq
+		} else if i == 0 {
+			// Empty log whose first segment starts past 1 (post-truncation).
+			w.nextSeq = seg.firstSeq
+		}
+		if res.tornAt >= 0 {
+			w.stats.TornTail = true
+			w.stats.TruncatedBytes = res.size - res.tornAt
+			if err := os.Truncate(seg.path, res.tornAt); err != nil {
+				return nil, fmt.Errorf("durable: truncate torn WAL tail %s: %w", seg.path, err)
+			}
+		}
+	}
+	// Reopen the last segment for appending, or start a fresh one.
+	if len(segs) > 0 {
+		seg := segs[len(segs)-1]
+		f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("durable: open WAL segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("durable: stat WAL segment: %w", err)
+		}
+		w.f, w.size, w.segFirst = f, st.Size(), seg.firstSeq
+		w.segRecs = int(w.nextSeq - seg.firstSeq)
+	} else if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	if opts.Sync == SyncInterval {
+		w.stopSync = make(chan struct{})
+		w.syncDone = make(chan struct{})
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+// Stats returns what the open-time scan found.
+func (w *WAL) Stats() ReplayStats { return w.stats }
+
+// LastSeq returns the sequence of the most recent record (0 if none).
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq - 1
+}
+
+// Dir returns the directory the log lives in.
+func (w *WAL) Dir() string { return w.dir }
+
+// Append writes one record and returns its sequence number. Under
+// SyncAlways the record is on stable storage when Append returns; see
+// SyncPolicy for the weaker modes. An error means the record must be
+// treated as not written: the caller should refuse the update rather
+// than acknowledge something the log may not hold.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	if int64(len(payload)) > MaxRecordBytes {
+		return 0, fmt.Errorf("durable: WAL record too large (%d bytes)", len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	if w.size > 0 && w.size+recordHeaderSize+int64(len(payload)) > w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	seq := w.nextSeq
+	rec := encodeRecord(seq, payload)
+	if _, err := w.f.Write(rec); err != nil {
+		// The segment may now hold a partial record; that is exactly the
+		// torn-tail case the next open truncates away.
+		return 0, fmt.Errorf("durable: WAL append: %w", err)
+	}
+	w.size += int64(len(rec))
+	w.segRecs++
+	w.nextSeq++
+	switch w.opts.Sync {
+	case SyncAlways:
+		if err := w.f.Sync(); err != nil {
+			return 0, fmt.Errorf("durable: WAL fsync: %w", err)
+		}
+	case SyncInterval:
+		w.dirty = true
+	}
+	return seq, nil
+}
+
+// Sync forces an fsync of the active segment regardless of policy.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	w.dirty = false
+	return w.f.Sync()
+}
+
+// Replay streams every record with sequence > after, in order, to fn.
+// It re-reads the segment files, so it reflects exactly what survived
+// on disk. A fn error aborts the replay and is returned unchanged.
+func (w *WAL) Replay(after uint64, fn func(seq uint64, payload []byte) error) error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	// Replay must not race appends; hold the lock for the scan. Replay
+	// runs at recovery time, before serving starts, so this is not a
+	// contended path.
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	var expect uint64
+	for i, seg := range segs {
+		res, err := scanSegment(seg.path, seg.firstSeq, expect, i == len(segs)-1, func(seq uint64, payload []byte) error {
+			if seq <= after {
+				return nil
+			}
+			return fn(seq, payload)
+		})
+		if err != nil {
+			return err
+		}
+		if res.lastSeq > 0 {
+			expect = res.lastSeq + 1
+		}
+	}
+	return nil
+}
+
+// TruncateThrough removes segments whose records are all covered by a
+// snapshot at seq, reclaiming disk. If every record on disk is covered,
+// the active segment is sealed and a fresh one opened first so the
+// invariant "the active segment holds only live records" is preserved.
+func (w *WAL) TruncateThrough(seq uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.segRecs > 0 && w.nextSeq-1 <= seq {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for i, s := range segs {
+		// A sealed segment's records end where the next segment begins.
+		var lastInSeg uint64
+		if i+1 < len(segs) {
+			lastInSeg = segs[i+1].firstSeq - 1
+		} else {
+			break // active segment: never removed here
+		}
+		if lastInSeg <= seq && s.firstSeq <= lastInSeg {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("durable: remove WAL segment: %w", err)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return syncDir(w.dir)
+	}
+	return nil
+}
+
+// Close flushes, fsyncs and closes the log. Further appends fail with
+// ErrClosed.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	stop := w.stopSync
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-w.syncDone
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if w.f != nil {
+		if serr := w.f.Sync(); serr != nil {
+			err = serr
+		}
+		if cerr := w.f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	return err
+}
+
+// syncLoop is the SyncInterval flusher.
+func (w *WAL) syncLoop() {
+	defer close(w.syncDone)
+	t := time.NewTicker(w.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopSync:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed && w.dirty {
+				w.f.Sync()
+				w.dirty = false
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// rotateLocked seals the active segment (fsync + close) and opens a new
+// one starting at nextSeq. Caller holds w.mu.
+func (w *WAL) rotateLocked() error {
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("durable: seal WAL segment: %w", err)
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("durable: seal WAL segment: %w", err)
+		}
+		w.f = nil
+	}
+	return w.openSegmentLocked()
+}
+
+// openSegmentLocked creates the segment file for nextSeq.
+func (w *WAL) openSegmentLocked() error {
+	path := filepath.Join(w.dir, segmentName(w.nextSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: create WAL segment: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return err
+	}
+	w.f, w.size, w.segFirst, w.segRecs = f, 0, w.nextSeq, 0
+	return nil
+}
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstSeq)
+}
+
+type segmentInfo struct {
+	path     string
+	firstSeq uint64
+}
+
+// listSegments returns the segment files in dir in sequence order.
+func listSegments(dir string) ([]segmentInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: list WAL segments: %w", err)
+	}
+	var segs []segmentInfo
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		hexPart := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+		first, perr := strconv.ParseUint(hexPart, 16, 64)
+		if perr != nil || len(hexPart) != 16 {
+			return nil, &CorruptError{Path: filepath.Join(dir, name), Offset: 0,
+				Detail: "segment file name", Err: ErrBadMagic}
+		}
+		segs = append(segs, segmentInfo{path: filepath.Join(dir, name), firstSeq: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// scanResult reports one segment's scan.
+type scanResult struct {
+	records int
+	lastSeq uint64
+	size    int64
+	tornAt  int64 // byte offset of a torn tail, -1 if none
+}
+
+// scanSegment validates every record in one segment file, optionally
+// delivering payloads to fn. expect is the sequence the first record
+// must carry (0 to accept the segment's declared first sequence —
+// used when earlier segments were truncated away by a snapshot).
+// In the final segment (last=true) a record cut short by EOF is
+// reported via tornAt instead of an error; any other damage is a
+// *CorruptError.
+func scanSegment(path string, firstSeq, expect uint64, last bool, fn func(uint64, []byte) error) (scanResult, error) {
+	res := scanResult{tornAt: -1}
+	f, err := os.Open(path)
+	if err != nil {
+		return res, fmt.Errorf("durable: open WAL segment: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return res, fmt.Errorf("durable: stat WAL segment: %w", err)
+	}
+	res.size = st.Size()
+
+	if expect == 0 {
+		expect = firstSeq
+	} else if firstSeq != expect {
+		return res, &CorruptError{Path: path, Offset: 0, Detail: "segment sequence",
+			Err: fmt.Errorf("segment starts at seq %d, want %d: %w", firstSeq, expect, ErrTruncated)}
+	}
+	r := &offsetReader{r: f}
+	var hdr [recordHeaderSize]byte
+	for {
+		start := r.off
+		_, err := io.ReadFull(r, hdr[:])
+		if err == io.EOF {
+			return res, nil // clean end
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return tornOrCorrupt(path, start, "record header", last, &res)
+		}
+		if err != nil {
+			return res, fmt.Errorf("durable: read WAL segment %s: %w", path, err)
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		seq := binary.LittleEndian.Uint64(hdr[8:16])
+		if int64(plen) > MaxRecordBytes {
+			// An over-large length in the final position is indistinguishable
+			// from a torn header; mid-file it is corruption either way.
+			return res, &CorruptError{Path: path, Offset: start,
+				Detail: "record length", Err: ErrChecksum}
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+				return tornOrCorrupt(path, start, "record payload", last, &res)
+			}
+			return res, fmt.Errorf("durable: read WAL segment %s: %w", path, err)
+		}
+		if got := recordChecksum(seq, payload); got != crc {
+			return res, &CorruptError{Path: path, Offset: start,
+				Detail: "record checksum", Err: ErrChecksum}
+		}
+		if seq != expect {
+			return res, &CorruptError{Path: path, Offset: start, Detail: "record sequence",
+				Err: fmt.Errorf("found seq %d, want %d: %w", seq, expect, ErrChecksum)}
+		}
+		if fn != nil {
+			if err := fn(seq, payload); err != nil {
+				return res, err
+			}
+		}
+		res.records++
+		res.lastSeq = seq
+		expect++
+	}
+}
+
+// tornOrCorrupt resolves a short read at offset start: a tolerated torn
+// tail in the final segment, a typed corruption error anywhere else.
+func tornOrCorrupt(path string, start int64, what string, last bool, res *scanResult) (scanResult, error) {
+	if last {
+		res.tornAt = start
+		return *res, nil
+	}
+	return *res, &CorruptError{Path: path, Offset: start, Detail: what, Err: ErrTruncated}
+}
+
+// offsetReader tracks the byte offset of an underlying reader so errors
+// can point at the damaged region.
+type offsetReader struct {
+	r   io.Reader
+	off int64
+}
+
+func (o *offsetReader) Read(p []byte) (int, error) {
+	n, err := o.r.Read(p)
+	o.off += int64(n)
+	return n, err
+}
+
+func encodeRecord(seq uint64, payload []byte) []byte {
+	rec := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], recordChecksum(seq, payload))
+	binary.LittleEndian.PutUint64(rec[8:16], seq)
+	copy(rec[recordHeaderSize:], payload)
+	return rec
+}
+
+// recordChecksum covers the sequence number and the payload, so a
+// record copied to the wrong position fails its check.
+func recordChecksum(seq uint64, payload []byte) uint32 {
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], seq)
+	crc := crc32.Update(0, castagnoli, s[:])
+	return crc32.Update(crc, castagnoli, payload)
+}

@@ -16,7 +16,9 @@ var knownRoutes = map[string]string{
 	"/experts":    "/experts",
 	"/papers":     "/papers",
 	"/similar":    "/similar",
+	"/add":        "/add",
 	"/healthz":    "/healthz",
+	"/readyz":     "/readyz",
 	"/metrics":    "/metrics",
 	"/debug/vars": "/debug/vars",
 }

@@ -52,6 +52,10 @@ type Server struct {
 	RetryAfter time.Duration
 
 	inflightQueries atomic.Int64
+	// ready gates /readyz (and update acceptance): false until the
+	// operator signals that recovery — engine load/build and WAL replay —
+	// is complete. See SetReady.
+	ready atomic.Bool
 }
 
 // New returns a server over a built engine with sensible bounds. The
@@ -77,11 +81,23 @@ func New(engine *core.Engine) *Server {
 	s.mux.HandleFunc("/experts", s.handleExperts)
 	s.mux.HandleFunc("/papers", s.handlePapers)
 	s.mux.HandleFunc("/similar", s.handleSimilar)
+	s.mux.HandleFunc("/add", s.handleAdd)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/vars", s.handleDebugVars)
 	return s
 }
+
+// SetReady flips the /readyz gate. Serve it false while booting —
+// building or loading the engine, replaying the WAL — so load
+// balancers keep traffic away from a replica that cannot yet answer
+// (or durably accept) anything; flip it true once recovery completes,
+// and back to false when shutdown begins.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the current /readyz state.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Registry returns the metrics registry the server records into.
 func (s *Server) Registry() *obs.Registry { return s.reg }
@@ -94,6 +110,16 @@ func (s *Server) ListenAndServe(addr string) error {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	return srv.ListenAndServe()
+}
+
+// ListenAndServeContext serves on addr until ctx is cancelled, then
+// shuts down gracefully: the readiness gate flips to 503 (so load
+// balancers stop routing here), the listener closes, and in-flight
+// requests get up to drain to finish before being cut off. It returns
+// nil on a clean drain; the caller then flushes durable state (final
+// snapshot, WAL close) knowing no handler is still mutating the engine.
+func (s *Server) ListenAndServeContext(ctx context.Context, addr string, drain time.Duration) error {
+	return serveContext(ctx, s, addr, drain, func() { s.SetReady(false) }, s.reg, s.Log)
 }
 
 // statusClientClosedRequest is nginx's 499: the client went away before
@@ -317,6 +343,100 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		out = append(out, s.paperResult(i+1, p))
 	}
 	s.writeJSON(w, out)
+}
+
+// AddRequest is the POST /add body: one paper to accept online.
+type AddRequest struct {
+	Text    string  `json:"text"`
+	Authors []int32 `json:"authors"`
+	Venues  []int32 `json:"venues,omitempty"`
+	Topics  []int32 `json:"topics,omitempty"`
+	Cites   []int32 `json:"cites,omitempty"`
+}
+
+// AddResponse acknowledges an accepted paper. By the time a client
+// reads this, the update is recorded in the write-ahead log (when one
+// is attached) — it survives kill -9 to the durability promised by the
+// configured fsync policy.
+type AddResponse struct {
+	ID  int32  `json:"id"`
+	Seq uint64 `json:"seq"`
+}
+
+// handleAdd accepts one paper into the live engine. Status mapping:
+// 200 applied (and logged, when durability is on); 400 invalid
+// update; 503 not ready, or the write-ahead log refused the record —
+// the update was NOT applied and the client should retry.
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if !s.ready.Load() {
+		http.Error(w, "engine not ready, still recovering", http.StatusServiceUnavailable)
+		return
+	}
+	var req AddRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	id, err := s.engine.AddPaper(core.NewPaper{
+		Text:    req.Text,
+		Authors: toNodeIDs(req.Authors),
+		Venues:  toNodeIDs(req.Venues),
+		Topics:  toNodeIDs(req.Topics),
+		Cites:   toNodeIDs(req.Cites),
+	})
+	var invalid *core.InvalidUpdateError
+	var logErr *core.UpdateLogError
+	switch {
+	case errors.As(err, &invalid):
+		http.Error(w, invalid.Error(), http.StatusBadRequest)
+		return
+	case errors.As(err, &logErr):
+		s.reg.Counter("expertfind_http_update_log_failures_total",
+			"Updates rejected because the write-ahead log failed.").Inc()
+		http.Error(w, "durability unavailable, update not applied; retry",
+			http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeJSON(w, AddResponse{ID: int32(id), Seq: s.engine.LastUpdateSeq()})
+}
+
+func toNodeIDs(ids []int32) []hetgraph.NodeID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]hetgraph.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = hetgraph.NodeID(id)
+	}
+	return out
+}
+
+// ReadyResponse is the /readyz payload.
+type ReadyResponse struct {
+	Status string `json:"status"`
+}
+
+// handleReady is the load-balancer gate, distinct from /healthz
+// (liveness): 503 until the engine is loaded/recovered and WAL replay
+// has finished, so a booting replica receives no traffic; 503 again
+// once shutdown begins, so connections drain away.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("{\n  \"status\": \"loading\"\n}\n"))
+		return
+	}
+	s.writeJSON(w, ReadyResponse{Status: "ready"})
 }
 
 // HealthResponse is the /healthz payload.
