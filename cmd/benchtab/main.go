@@ -7,14 +7,19 @@
 //	benchtab -exp all
 //
 // Experiments: table2, table3, table4, table5, table6, fig7, fig8a,
-// fig8b, fig8c, fig8d, coresearch, query, all. The query experiment
-// benchmarks the concurrent serving layer (cold/warm/concurrent latency,
-// QPS, cache hit rate) and writes BENCH_query.json (-bench-out).
+// fig8b, fig8c, fig8d, coresearch, query, cluster, all. The query
+// experiment benchmarks the concurrent serving layer (cold/warm/concurrent
+// latency, QPS, cache hit rate) and writes BENCH_query.json (-bench-out).
+// The cluster experiment compares single-node serving against router+2/4
+// shards over loopback HTTP and writes BENCH_cluster.json
+// (-cluster-bench-out); it is excluded from "all" because it binds
+// listening sockets.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -23,11 +28,12 @@ import (
 )
 
 // benchOut is the -bench-out flag: where -exp query writes its JSON.
-var benchOut string
+// clusterBenchOut is the same for -exp cluster.
+var benchOut, clusterBenchOut string
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1..table6, fig5, fig7, fig8a..fig8d, coresearch, sig, query, all)")
+		exp     = flag.String("exp", "all", "experiment id (table1..table6, fig5, fig7, fig8a..fig8d, coresearch, sig, query, cluster, all)")
 		papers  = flag.Int("papers", experiments.Default.Papers, "papers per dataset")
 		queries = flag.Int("queries", experiments.Default.Queries, "evaluation queries per dataset")
 		m       = flag.Int("m", experiments.Default.M, "top-m papers retrieved")
@@ -35,9 +41,11 @@ func main() {
 		dim     = flag.Int("dim", experiments.Default.Dim, "embedding dimension")
 		seed    = flag.Int64("seed", experiments.Default.Seed, "random seed")
 		bench   = flag.String("bench-out", "BENCH_query.json", "output file for the query benchmark (-exp query)")
+		cbench  = flag.String("cluster-bench-out", "BENCH_cluster.json", "output file for the cluster benchmark (-exp cluster)")
 	)
 	flag.Parse()
 	benchOut = *bench
+	clusterBenchOut = *cbench
 
 	sc := experiments.Scale{
 		Papers: *papers, Queries: *queries, M: *m, N: *n, Dim: *dim, Seed: *seed,
@@ -114,13 +122,25 @@ func run(id string, sc experiments.Scale) (string, error) {
 		}
 		return experiments.FormatQueryBench(rep) +
 			fmt.Sprintf("[wrote %s]\n", benchOut), nil
+	case "cluster":
+		rep := experiments.RunClusterBench(sc)
+		if err := writeBenchJSON(clusterBenchOut, rep); err != nil {
+			return "", err
+		}
+		return experiments.FormatClusterBench(rep) +
+			fmt.Sprintf("[wrote %s]\n", clusterBenchOut), nil
 	default:
 		return "", fmt.Errorf("unknown experiment %q", id)
 	}
 }
 
-// writeBenchJSON writes the query benchmark report to path.
-func writeBenchJSON(path string, rep experiments.QueryBenchReport) error {
+// jsonReport is any benchmark report that can serialise itself.
+type jsonReport interface {
+	WriteJSON(w io.Writer) error
+}
+
+// writeBenchJSON writes a benchmark report to path.
+func writeBenchJSON(path string, rep jsonReport) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"os"
 
+	"expertfind/internal/cluster"
 	"expertfind/internal/dataset"
 )
 
@@ -24,6 +25,7 @@ func main() {
 		out     = flag.String("out", "", "output file (default stdout)")
 		queries = flag.Int("queries", 0, "also write this many evaluation queries to <out>.queries.json")
 		qseed   = flag.Int64("qseed", 1, "random seed for query sampling")
+		shards  = flag.Int("shards", 0, "also write an S-way paper partition to <out>.shards/ (requires -out)")
 	)
 	flag.Parse()
 
@@ -80,5 +82,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d queries to %s.queries.json\n", len(qs), *out)
+	}
+
+	if *shards > 0 {
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "datagen: -shards requires -out")
+			os.Exit(1)
+		}
+		dir := *out + ".shards"
+		man, err := cluster.WritePartition(dir, ds.Graph, *shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		for i, sl := range man.Slices {
+			fmt.Fprintf(os.Stderr, "shard %d: %d papers, %d authors, %d edges\n",
+				i, sl.Papers, sl.Authors, sl.Edges)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d-shard partition to %s/\n", *shards, dir)
 	}
 }

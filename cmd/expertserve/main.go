@@ -20,10 +20,22 @@
 // kill -9 — recovers exactly the acknowledged state. The listener opens
 // before recovery so /readyz honestly reports 503 until replay is done.
 //
+// The -role flag selects the process's place in a sharded topology:
+//
+//	single  (default) the whole corpus in one process, as above
+//	shard   same build, but also serves the internal /shard/papers and
+//	        /shard/experts partial-list API for its slice of the corpus
+//	        (-shards total, -shard-id this one)
+//	router  no corpus: scatter-gathers /experts and /papers across the
+//	        shard replicas given by -replicas, with retries, hedging and
+//	        replica health ejection
+//
 // Usage:
 //
 //	expertserve -dataset aminer -papers 1000 -addr :8080
 //	expertserve -graph g.json -data-dir /var/lib/expertfind -addr :8080
+//	expertserve -role shard -shards 4 -shard-id 2 -graph g.json -addr :8082
+//	expertserve -role router -replicas 'h1:8081|h1:9081,h2:8082' -addr :8080
 package main
 
 import (
@@ -32,10 +44,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"expertfind/internal/cli"
+	"expertfind/internal/cluster"
 	"expertfind/internal/core"
 	"expertfind/internal/durable"
 	"expertfind/internal/hetgraph"
@@ -63,6 +77,15 @@ func main() {
 		queryTTL    = flag.Duration("query-cache-ttl", 5*time.Minute, "query-cache entry TTL (0 = no expiry)")
 		queryTO     = flag.Duration("query-timeout", 2*time.Second, "per-request query deadline, 504 past it (0 = none)")
 		maxInflight = flag.Int("max-inflight", 256, "concurrent query requests before shedding 503 (0 = unlimited)")
+
+		role         = flag.String("role", "single", "topology role: single, shard, or router")
+		shards       = flag.Int("shards", 0, "total shard count of the topology (role shard)")
+		shardID      = flag.Int("shard-id", 0, "this shard's index in [0, shards) (role shard)")
+		replicas     = flag.String("replicas", "", "shard replica addresses: shards comma-separated, replicas of one shard separated by '|' (role router)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "hedge a slow shard sub-request to another replica after this delay; 0 derives it from the observed p99, negative disables (role router)")
+		probeEvery   = flag.Duration("probe-interval", 2*time.Second, "health-probe period for ejected replicas (role router)")
+		ejectAfter   = flag.Int("eject-after", 3, "consecutive sub-request failures before a replica is ejected (role router)")
+		shardRetries = flag.Int("shard-retries", 2, "retries per shard sub-request (role router)")
 
 		dataDir      = flag.String("data-dir", "", "durable state directory: snapshot + write-ahead log (enables crash recovery)")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "background snapshot period with -data-dir (0 disables)")
@@ -105,7 +128,49 @@ func main() {
 	go func() {
 		servErr <- gate.ListenAndServeContext(ctx, *addr, *drainTO, nil, reg, logger)
 	}()
-	logger.Info("listening", "addr", *addr, "ready", false)
+	logger.Info("listening", "addr", *addr, "role", *role, "ready", false)
+
+	switch *role {
+	case "single", "shard":
+	case "router":
+		// The router holds no corpus: skip the whole offline pipeline and
+		// serve scatter-gather over the configured shard replicas.
+		topo, err := parseReplicas(*replicas)
+		if err != nil {
+			fail(err)
+		}
+		client, err := cluster.NewShardClient(topo, cluster.ClientConfig{
+			Retries:       *shardRetries,
+			HedgeAfter:    *hedgeAfter,
+			EjectAfter:    *ejectAfter,
+			ProbeInterval: *probeEvery,
+		}, reg, logger)
+		if err != nil {
+			fail(err)
+		}
+		client.StartProbes(ctx)
+		router := cluster.NewRouter(client, cluster.RouterConfig{
+			QueryTimeout: *queryTO,
+		}, reg, logger)
+		gate.Install(router)
+		logger.Info("serving", "addr", *addr, "role", "router",
+			"shards", client.NumShards(), "hedge_after", *hedgeAfter,
+			"query_timeout", *queryTO)
+		select {
+		case err = <-servErr:
+		case <-ctx.Done():
+			router.SetReady(false)
+			err = <-servErr
+		}
+		if err != nil {
+			logger.Error("listener_failed", "err", err)
+			fail(err)
+		}
+		logger.Info("shutdown_complete")
+		return
+	default:
+		fail(fmt.Errorf("unknown -role %q (want single, shard, or router)", *role))
+	}
 
 	g, err := cli.LoadGraph(*graphFile, *preset, *papers)
 	if err != nil {
@@ -198,9 +263,25 @@ func main() {
 		srv.EnablePprof()
 		logger.Info("pprof_enabled", "path", "/debug/pprof/")
 	}
+	if *role == "shard" {
+		idxCfg := pgindex.DefaultConfig()
+		idxCfg.Seed = *seed
+		se, err := cluster.NewShardEngine(engine, cluster.ShardConfig{
+			ID:         *shardID,
+			Of:         *shards,
+			Index:      idxCfg,
+			UsePGIndex: true,
+		})
+		if err != nil {
+			fail(err)
+		}
+		cluster.MountShard(srv, se)
+		logger.Info("shard_mounted", "shard_id", *shardID, "shards", *shards,
+			"owned_papers", se.NumOwned())
+	}
 	gate.Install(srv)
 	srv.SetReady(true)
-	logger.Info("serving", "addr", *addr, "ready", true,
+	logger.Info("serving", "addr", *addr, "role", *role, "ready", true,
 		"query_timeout", *queryTO, "max_inflight", *maxInflight, "durable", *dataDir != "")
 
 	// Block until SIGINT/SIGTERM cancels ctx (the gate then drains the
@@ -234,6 +315,31 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+}
+
+// parseReplicas decodes the -replicas grammar: shards separated by
+// commas, replicas of one shard separated by '|'.
+//
+//	"h1:8081|h1:9081,h2:8082" -> shard 0 with two replicas, shard 1 with one
+func parseReplicas(s string) ([][]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-role router requires -replicas")
+	}
+	var out [][]string
+	for i, shard := range strings.Split(s, ",") {
+		var addrs []string
+		for _, a := range strings.Split(shard, "|") {
+			a = strings.TrimSpace(a)
+			if a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("-replicas: shard %d has no addresses", i)
+		}
+		out = append(out, addrs)
+	}
+	return out, nil
 }
 
 func fail(err error) {

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"expertfind/internal/core"
+	"expertfind/internal/dataset"
+	"expertfind/internal/obs"
+	"expertfind/internal/serve"
+	"expertfind/internal/ta"
+)
+
+// The equivalence corpus: one deterministic engine in exact-retrieval
+// mode, shared by every test (builds are the expensive part).
+var (
+	eqOnce sync.Once
+	eqDS   *dataset.Dataset
+	eqEng  *core.Engine
+)
+
+func equivEngine(t *testing.T) (*dataset.Dataset, *core.Engine) {
+	t.Helper()
+	eqOnce.Do(func() {
+		eqDS = dataset.Generate(dataset.AminerSim(200))
+		e, err := core.Build(eqDS.Graph, core.Options{
+			Dim: 16, Seed: 5, UsePGIndex: core.Bool(false), Metrics: obs.NewRegistry(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		eqEng = e
+	})
+	return eqDS, eqEng
+}
+
+// topology is a live router-over-real-HTTP-shards deployment for tests.
+type topology struct {
+	routerURL string
+	reg       *obs.Registry
+	client    *ShardClient
+}
+
+// startTopology serves eng as S shards (each on its own loopback HTTP
+// server, exact retrieval) fronted by a router, all torn down with the
+// test. faults, when non-nil, wraps shard handlers for fault injection:
+// it receives (shard, replica index, inner handler) and returns the
+// handler to serve. replicasPerShard maps shard -> replica count
+// (default 1).
+func startTopology(t *testing.T, eng *core.Engine, shards int, rcfg RouterConfig, ccfg ClientConfig,
+	replicasPerShard map[int]int, faults func(shard, rep int, inner http.Handler) http.Handler) *topology {
+	t.Helper()
+	addrs := make([][]string, shards)
+	for i := 0; i < shards; i++ {
+		se, err := NewShardEngine(eng, ShardConfig{ID: i, Of: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps := 1
+		if replicasPerShard != nil && replicasPerShard[i] > 0 {
+			reps = replicasPerShard[i]
+		}
+		for r := 0; r < reps; r++ {
+			srv := serve.New(eng)
+			srv.SetReady(true)
+			MountShard(srv, se)
+			var h http.Handler = srv
+			if faults != nil {
+				h = faults(i, r, h)
+			}
+			ts := httptest.NewServer(h)
+			t.Cleanup(ts.Close)
+			addrs[i] = append(addrs[i], strings.TrimPrefix(ts.URL, "http://"))
+		}
+	}
+	reg := obs.NewRegistry()
+	client, err := NewShardClient(addrs, ccfg, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := NewRouter(client, rcfg, reg, nil)
+	rs := httptest.NewServer(router)
+	t.Cleanup(rs.Close)
+	return &topology{routerURL: rs.URL, reg: reg, client: client}
+}
+
+// queryExperts runs one /experts query against a base URL and decodes it.
+func queryExperts(t *testing.T, base, q string, m, n int) serve.ExpertsResponse {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/experts?q=%s&m=%d&n=%d", base, url.QueryEscape(q), m, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query %q: status %d: %s", q, resp.StatusCode, b)
+	}
+	var er serve.ExpertsResponse
+	if err := json.Unmarshal(b, &er); err != nil {
+		t.Fatalf("query %q: bad payload: %v", q, err)
+	}
+	return er
+}
+
+// assertSameRanking compares a router response with the single-node
+// ground truth bit for bit: same experts, same order, same score bits.
+func assertSameRanking(t *testing.T, q string, got serve.ExpertsResponse, want []ta.Ranking) {
+	t.Helper()
+	if len(got.Experts) != len(want) {
+		t.Fatalf("query %q: router returned %d experts, single node %d",
+			q, len(got.Experts), len(want))
+	}
+	for i, e := range got.Experts {
+		w := want[i]
+		if int32(w.Expert) != e.ID {
+			t.Fatalf("query %q rank %d: router expert %d, single node %d",
+				q, i+1, e.ID, w.Expert)
+		}
+		if math.Float64bits(e.Score) != math.Float64bits(w.Score) {
+			t.Fatalf("query %q rank %d (expert %d): router score %x, single node %x",
+				q, i+1, e.ID, math.Float64bits(e.Score), math.Float64bits(w.Score))
+		}
+		if e.Rank != i+1 {
+			t.Fatalf("query %q: rank field %d at position %d", q, e.Rank, i+1)
+		}
+	}
+}
+
+// TestRouterMatchesSingleNode is the acceptance equivalence test: for
+// S in {2, 4}, the router's top-n over S shards must equal single-node
+// ta.TopExperts exactly — ids, order and float bits, ties included.
+func TestRouterMatchesSingleNode(t *testing.T) {
+	ds, eng := equivEngine(t)
+	queries := ds.Queries(8, rand.New(rand.NewSource(3)))
+	const m, n = 40, 10
+
+	for _, shards := range []int{2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			topo := startTopology(t, eng, shards, RouterConfig{}, ClientConfig{}, nil, nil)
+			for _, q := range queries {
+				want, _, err := eng.TopExperts(q.Text, m, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := queryExperts(t, topo.routerURL, q.Text, m, n)
+				assertSameRanking(t, q.Text, got, want)
+			}
+		})
+	}
+}
+
+// TestRouterDeepeningRound forces the second, deeper fetch: with the
+// initial per-shard limit squeezed to 1 the first round's bound cannot
+// certify, the router must go back for more, and the final ranking must
+// still match single node exactly.
+func TestRouterDeepeningRound(t *testing.T) {
+	ds, eng := equivEngine(t)
+	queries := ds.Queries(4, rand.New(rand.NewSource(9)))
+	const m, n = 40, 10
+
+	topo := startTopology(t, eng, 2, RouterConfig{InitialLimit: 1}, ClientConfig{}, nil, nil)
+	for _, q := range queries {
+		want, _, err := eng.TopExperts(q.Text, m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := queryExperts(t, topo.routerURL, q.Text, m, n)
+		assertSameRanking(t, q.Text, got, want)
+		if got.TADepth < 2 {
+			t.Fatalf("query %q: expected a deepening round, ta_depth = %d", q.Text, got.TADepth)
+		}
+	}
+	deep := topo.reg.Counter("expertfind_cluster_deep_fetches_total", "").Value()
+	if deep < float64(len(queries)) {
+		t.Fatalf("deep-fetch counter %v after %d forced-deepening queries", deep, len(queries))
+	}
+}
+
+// TestRouterPapersMatchesSingleNode checks the retrieval route too: the
+// merged /papers list must equal the single-node one.
+func TestRouterPapersMatchesSingleNode(t *testing.T) {
+	ds, eng := equivEngine(t)
+	q := ds.Queries(1, rand.New(rand.NewSource(17)))[0]
+	const m = 15
+
+	single := httptest.NewServer(func() http.Handler {
+		s := serve.New(eng)
+		s.SetReady(true)
+		return s
+	}())
+	defer single.Close()
+	topo := startTopology(t, eng, 2, RouterConfig{}, ClientConfig{}, nil, nil)
+
+	fetch := func(base string) []serve.PaperResult {
+		resp, err := http.Get(fmt.Sprintf("%s/papers?q=%s&m=%d", base, url.QueryEscape(q.Text), m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		var out []serve.PaperResult
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := fetch(single.URL)
+	got := fetch(topo.routerURL)
+	if len(got) != len(want) {
+		t.Fatalf("router returned %d papers, single node %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Rank != want[i].Rank || got[i].Text != want[i].Text {
+			t.Fatalf("paper %d: router %+v, single node %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRouterHealthTopology pins the /healthz contract for routers and
+// shards: role, shard coordinates, replica sets.
+func TestRouterHealthTopology(t *testing.T) {
+	_, eng := equivEngine(t)
+	topo := startTopology(t, eng, 2, RouterConfig{}, ClientConfig{}, nil, nil)
+
+	resp, err := http.Get(topo.routerURL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rh RouterHealth
+	if err := json.NewDecoder(resp.Body).Decode(&rh); err != nil {
+		t.Fatal(err)
+	}
+	if rh.Role != "router" || rh.Shards != 2 {
+		t.Fatalf("router healthz: %+v", rh)
+	}
+	if len(rh.Replicas) != 2 || len(rh.Replicas[0]) != 1 {
+		t.Fatalf("router healthz replicas: %+v", rh.Replicas)
+	}
+	if len(rh.AliveReplicas) != 2 || rh.AliveReplicas[0] != 1 || rh.AliveReplicas[1] != 1 {
+		t.Fatalf("router healthz alive: %+v", rh.AliveReplicas)
+	}
+
+	sresp, err := http.Get("http://" + rh.Replicas[1][0] + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var sh serve.HealthResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&sh); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Role != "shard" || sh.ShardID != 1 || sh.Shards != 2 || sh.OwnedPapers <= 0 {
+		t.Fatalf("shard healthz topology: %+v", sh.Topology)
+	}
+}

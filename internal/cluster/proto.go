@@ -1,0 +1,93 @@
+package cluster
+
+// The internal shard wire protocol. Two round trips serve one /experts
+// query:
+//
+//  1. GET /shard/papers?q=<text>&m=<count>[&meta=1] — each shard retrieves
+//     the top-m papers among the papers it OWNS, with exact distances. The
+//     router merges all shards' lists by (distance, id) into the global
+//     top-m and assigns global ranks 1..m.
+//
+//  2. POST /shard/experts {papers: [(id, global rank)], limit: t} — each
+//     shard scores the experts of its owned retrieved papers and returns
+//     its top-t partial list plus the largest score it omitted
+//     (Threshold), the raw material of ta.MergePartials.
+//
+// Expert and paper ids on the wire are GLOBAL: every process builds the
+// same deterministic engine over the same corpus, so node ids agree
+// everywhere and no translation tables are needed in the hot path.
+
+// WirePaper is one retrieved paper in a /shard/papers response. Dist is
+// the exact L2 distance to the encoded query; JSON round-trips float64
+// losslessly (shortest-form encoding), so cross-shard merge order is
+// decided on the same bits the shard computed.
+type WirePaper struct {
+	ID   int32   `json:"id"`
+	Dist float64 `json:"dist"`
+	// Text and Authors are filled only when the request asked for
+	// metadata (meta=1) — the router's /papers needs them, the /experts
+	// round 1 does not.
+	Text    string   `json:"text,omitempty"`
+	Authors []string `json:"authors,omitempty"`
+}
+
+// PapersResponse is the /shard/papers payload.
+type PapersResponse struct {
+	Shard  int         `json:"shard"`
+	Papers []WirePaper `json:"papers"`
+}
+
+// RankedPaper names one globally ranked retrieved paper in a
+// /shard/experts request. Rank is 1-based over the merged global list.
+type RankedPaper struct {
+	ID   int32 `json:"id"`
+	Rank int   `json:"rank"`
+}
+
+// ExpertsRequest is the POST /shard/experts body. Papers must all be
+// owned by the receiving shard. Limit bounds the returned partial list;
+// <= 0 asks for the complete list (Exhausted response).
+type ExpertsRequest struct {
+	Papers []RankedPaper `json:"papers"`
+	Limit  int           `json:"limit"`
+}
+
+// Contribution is one per-paper term of an expert's partial score:
+// S(a, p) of Eq. 4 for the owned paper at global rank Rank. The router
+// re-sums an expert's contributions from all shards in ascending global
+// rank — the exact float summation order of single-node ta.TopExperts —
+// so merged scores are bit-identical to the single-node path.
+type Contribution struct {
+	Rank int     `json:"rank"`
+	S    float64 `json:"s"`
+}
+
+// WireExpert is one entry of a shard's partial expert list.
+type WireExpert struct {
+	ID int32 `json:"id"`
+	// Score is the shard-local partial sum, the ordering/threshold key.
+	Score float64 `json:"score"`
+	// Name and Papers carry response metadata (author label, total
+	// authored papers) so the router can render results without a corpus.
+	Name   string `json:"name"`
+	Papers int    `json:"papers"`
+	// Contribs lists the per-paper terms of Score, ascending by rank.
+	Contribs []Contribution `json:"contribs"`
+}
+
+// ShardExpertsResponse is the /shard/experts payload: the shard's partial
+// top list (score descending, id ascending), truncated to the requested
+// limit, plus the bound information ta.MergePartials needs.
+type ShardExpertsResponse struct {
+	Shard   int          `json:"shard"`
+	Experts []WireExpert `json:"experts"`
+	// Threshold is the largest partial score omitted by truncation
+	// (0 when Exhausted).
+	Threshold float64 `json:"threshold"`
+	// Exhausted reports the list is complete: every expert with a
+	// non-zero partial score on this shard is present.
+	Exhausted bool `json:"exhausted"`
+	// Candidates counts distinct experts over the shard's owned papers,
+	// before truncation.
+	Candidates int `json:"candidates"`
+}

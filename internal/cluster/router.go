@@ -1,0 +1,626 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/obs"
+	"expertfind/internal/serve"
+	"expertfind/internal/ta"
+)
+
+// RouterConfig tunes the router's query handling.
+type RouterConfig struct {
+	// DefaultM/DefaultN/MaxM/MaxN mirror the single-node serve bounds.
+	DefaultM, DefaultN, MaxM, MaxN int
+	// QueryTimeout bounds each query end to end (504 past it); the
+	// per-shard budgets of every scatter derive from what remains of it.
+	QueryTimeout time.Duration
+	// InitialLimit is the per-shard partial-list depth of the first
+	// /shard/experts round (0: max(2n, 16)). Each uncertified round
+	// quadruples it; past MaxM the router asks for unbounded lists, which
+	// always certify.
+	InitialLimit int
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.DefaultM <= 0 {
+		c.DefaultM = 200
+	}
+	if c.DefaultN <= 0 {
+		c.DefaultN = 10
+	}
+	if c.MaxM <= 0 {
+		c.MaxM = 5000
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 500
+	}
+	return c
+}
+
+// Router is the scatter-gather front of a sharded cluster. It holds no
+// corpus: queries fan out to the shard replicas through a ShardClient and
+// partial results merge under the distributed threshold bound of
+// ta.MergePartials. Responses match the single-node /experts and /papers
+// shapes byte for byte, so clients cannot tell the topologies apart.
+type Router struct {
+	mux    *http.ServeMux
+	client *ShardClient
+	cfg    RouterConfig
+	reg    *obs.Registry
+	Log    *obs.Logger
+
+	bootOK atomic.Bool
+	ready  atomic.Bool
+}
+
+// NewRouter assembles a router over a shard client.
+func NewRouter(client *ShardClient, cfg RouterConfig, reg *obs.Registry, log *obs.Logger) *Router {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	obs.RegisterCluster(reg)
+	rt := &Router{
+		mux:    http.NewServeMux(),
+		client: client,
+		cfg:    cfg.withDefaults(),
+		reg:    reg,
+		Log:    log,
+	}
+	rt.ready.Store(true)
+	rt.mux.HandleFunc("/experts", rt.handleExperts)
+	rt.mux.HandleFunc("/papers", rt.handlePapers)
+	rt.mux.HandleFunc("/healthz", rt.handleHealth)
+	rt.mux.HandleFunc("/readyz", rt.handleReady)
+	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/debug/vars", rt.handleDebugVars)
+	return rt
+}
+
+// SetReady flips the router's own readiness contribution (shutdown sets
+// it false so probes drain traffic away; shard readiness is evaluated on
+// top of it).
+func (rt *Router) SetReady(ready bool) { rt.ready.Store(ready) }
+
+// ServeHTTP wraps the routes in the same observability envelope as the
+// single-node server: request IDs, per-route latency and status metrics,
+// one access-log line per request.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqID := r.Header.Get("X-Request-ID")
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	route := "other"
+	switch r.URL.Path {
+	case "/experts", "/papers", "/healthz", "/readyz", "/metrics", "/debug/vars":
+		route = r.URL.Path
+	}
+	inflight := rt.reg.Gauge("expertfind_http_in_flight", "Requests currently being served.")
+	inflight.Add(1)
+	sw := &routerStatusWriter{ResponseWriter: w}
+	// Propagate the request ID to shard sub-requests through the context.
+	r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, reqID))
+	rt.mux.ServeHTTP(sw, r)
+	inflight.Add(-1)
+	if sw.code == 0 {
+		sw.code = http.StatusOK
+	}
+	dur := time.Since(start)
+	rt.reg.Counter("expertfind_http_requests_total", "HTTP requests by route and status code.",
+		obs.L("route", route), obs.L("code", strconv.Itoa(sw.code))).Inc()
+	rt.reg.Histogram("expertfind_http_request_seconds", "HTTP request latency by route.",
+		nil, obs.L("route", route)).Observe(dur.Seconds())
+	rt.Log.Info("access", "req_id", reqID, "method", r.Method, "path", r.URL.Path,
+		"route", route, "status", sw.code, "bytes", sw.bytes,
+		"dur_ms", float64(dur.Microseconds())/1000)
+}
+
+type requestIDKey struct{}
+
+type routerStatusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+}
+
+func (w *routerStatusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *routerStatusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (rt *Router) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if rt.cfg.QueryTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), rt.cfg.QueryTimeout)
+}
+
+// writeRouterError maps fan-out failures onto client statuses: a whole
+// shard down is 502 (the merge would be silently wrong without its
+// partials — correctness beats availability), an expired budget is 504,
+// a departed client 499, bad parameters 400.
+func (rt *Router) writeRouterError(w http.ResponseWriter, err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *shardError
+	switch {
+	case errors.As(err, &se):
+		if errors.Is(err, context.DeadlineExceeded) {
+			http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+			return true
+		}
+		rt.reg.Counter("expertfind_cluster_shard_unavailable_total",
+			"Queries failed because a whole shard (every replica) was unreachable.").Inc()
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "query deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, "client closed request", 499)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+	return true
+}
+
+func (rt *Router) intParam(r *http.Request, name string, def, max int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 1 {
+		return 0, fmt.Errorf("parameter %s must be a positive integer", name)
+	}
+	if v > max {
+		return 0, fmt.Errorf("parameter %s exceeds the maximum %d", name, max)
+	}
+	return v, nil
+}
+
+// rankedPaper is one globally merged retrieved paper with its origin.
+type rankedPaper struct {
+	WirePaper
+	shard int
+	rank  int
+}
+
+// scatterPapers fans GET /shard/papers out to every shard and returns the
+// per-shard results. Any shard failing entirely fails the query.
+func (rt *Router) scatterPapers(ctx context.Context, q string, m int, meta bool) ([]*PapersResponse, error) {
+	s := rt.client.NumShards()
+	resps := make([]*PapersResponse, s)
+	errs := make([]error, s)
+	var wg sync.WaitGroup
+	for i := 0; i < s; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := "/shard/papers?q=" + url.QueryEscape(q) + "&m=" + strconv.Itoa(m)
+			if meta {
+				path += "&meta=1"
+			}
+			b, err := rt.client.Get(ctx, i, path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var pr PapersResponse
+			if err := json.Unmarshal(b, &pr); err != nil {
+				errs[i] = &shardError{shard: i, err: fmt.Errorf("bad papers payload: %w", err)}
+				return
+			}
+			resps[i] = &pr
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resps, nil
+}
+
+// mergePapers combines per-shard retrieval lists into the global top-m by
+// (distance ascending, id ascending) — the exact comparator of the
+// single-node brute-force retrieval, applied to the same distance bits,
+// so the merged list equals the single-node list when shards retrieve
+// exactly.
+func mergePapers(resps []*PapersResponse, m int) []rankedPaper {
+	var all []rankedPaper
+	for _, r := range resps {
+		for _, p := range r.Papers {
+			all = append(all, rankedPaper{WirePaper: p, shard: r.Shard})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > m {
+		all = all[:m]
+	}
+	for i := range all {
+		all[i].rank = i + 1
+	}
+	return all
+}
+
+// scatterExperts fans POST /shard/experts out to the shards owning at
+// least one ranked paper, with per-shard partial-list limit t. The
+// returned slice is indexed by shard; shards with no papers stay nil.
+func (rt *Router) scatterExperts(ctx context.Context, papers []rankedPaper, t int) ([]*ShardExpertsResponse, error) {
+	s := rt.client.NumShards()
+	perShard := make([][]RankedPaper, s)
+	for _, p := range papers {
+		perShard[p.shard] = append(perShard[p.shard], RankedPaper{ID: p.ID, Rank: p.rank})
+	}
+	resps := make([]*ShardExpertsResponse, s)
+	errs := make([]error, s)
+	var wg sync.WaitGroup
+	for i := 0; i < s; i++ {
+		if len(perShard[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, err := json.Marshal(ExpertsRequest{Papers: perShard[i], Limit: t})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			b, err := rt.client.Post(ctx, i, "/shard/experts", body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var er ShardExpertsResponse
+			if err := json.Unmarshal(b, &er); err != nil {
+				errs[i] = &shardError{shard: i, err: fmt.Errorf("bad experts payload: %w", err)}
+				return
+			}
+			resps[i] = &er
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return resps, nil
+}
+
+// mergedExpert is one globally ranked expert after the distributed merge.
+type mergedExpert struct {
+	id     int32
+	score  float64
+	name   string
+	papers int
+}
+
+// mergeStats reports the distributed ranking's work for the response.
+type mergeStats struct {
+	candidates int
+	rounds     int
+}
+
+// rankExperts runs the two-round distributed pipeline: retrieval scatter
+// + global rank assignment, then expert scatter rounds of growing depth
+// until ta.MergePartials certifies the global top-n.
+func (rt *Router) rankExperts(ctx context.Context, q string, m, n int) ([]mergedExpert, mergeStats, error) {
+	var ms mergeStats
+	r1, err := rt.scatterPapers(ctx, q, m, false)
+	if err != nil {
+		return nil, ms, err
+	}
+	papers := mergePapers(r1, m)
+
+	t := rt.cfg.InitialLimit
+	if t <= 0 {
+		t = 2 * n
+		if t < 16 {
+			t = 16
+		}
+	}
+	for {
+		ms.rounds++
+		resps, err := rt.scatterExperts(ctx, papers, t)
+		if err != nil {
+			return nil, ms, err
+		}
+		// Partials enter the merge in ascending shard order: the merged
+		// certification sums are deterministic for a given topology.
+		var parts []ta.Partial
+		for _, r := range resps {
+			if r == nil {
+				continue
+			}
+			entries := make([]ta.Ranking, len(r.Experts))
+			for i, e := range r.Experts {
+				entries[i] = ta.Ranking{Expert: hetgraph.NodeID(e.ID), Score: e.Score}
+			}
+			parts = append(parts, ta.Partial{
+				Entries:   entries,
+				Threshold: r.Threshold,
+				Exhausted: r.Exhausted,
+			})
+		}
+		_, st := ta.MergePartials(parts, n)
+		ms.candidates = st.Candidates
+		if st.Satisfied {
+			return finalRanking(resps, n), ms, nil
+		}
+		if t == 0 {
+			// Unbounded lists are exhaustive and always certify; reaching
+			// here means a shard broke the partial-list contract.
+			return nil, ms, fmt.Errorf("cluster: merge failed to certify on exhaustive lists")
+		}
+		rt.reg.Counter("expertfind_cluster_deep_fetches_total",
+			"Extra scatter rounds issued because the distributed threshold bound was not satisfied.").Inc()
+		t *= 4
+		if t > rt.cfg.MaxM {
+			t = 0 // ask for complete lists; termination guaranteed
+		}
+	}
+}
+
+// finalRanking assembles the certified global top-n from the last round's
+// responses. Scores are NOT the certification sums: each expert's
+// per-paper contributions from all shards are re-summed in ascending
+// global rank — the single-node summation order — so scores, and
+// therefore tie behaviour, are bit-identical to single-node TopExperts.
+// Only exact candidates (present in every truncated shard's list)
+// qualify; the certified bound guarantees no inexact candidate can reach
+// the top n.
+func finalRanking(resps []*ShardExpertsResponse, n int) []mergedExpert {
+	type cand struct {
+		mergedExpert
+		contribs []Contribution
+		present  int
+	}
+	byID := map[int32]*cand{}
+	var order []int32
+	active := 0 // responses that actually carry partials
+	for _, r := range resps {
+		if r == nil {
+			continue
+		}
+		active++
+		for _, e := range r.Experts {
+			c := byID[e.ID]
+			if c == nil {
+				c = &cand{mergedExpert: mergedExpert{id: e.ID, name: e.Name, papers: e.Papers}}
+				byID[e.ID] = c
+				order = append(order, e.ID)
+			}
+			c.contribs = append(c.contribs, e.Contribs...)
+			c.present++
+		}
+	}
+	exact := make([]mergedExpert, 0, len(order))
+	for _, id := range order {
+		c := byID[id]
+		if !isExact(c.present, resps) {
+			continue
+		}
+		sort.SliceStable(c.contribs, func(i, j int) bool {
+			return c.contribs[i].Rank < c.contribs[j].Rank
+		})
+		var sum float64
+		for _, t := range c.contribs {
+			sum += t.S
+		}
+		c.score = sum
+		exact = append(exact, c.mergedExpert)
+	}
+	sort.Slice(exact, func(i, j int) bool {
+		if exact[i].score != exact[j].score {
+			return exact[i].score > exact[j].score
+		}
+		return exact[i].id < exact[j].id
+	})
+	if len(exact) > n {
+		exact = exact[:n]
+	}
+	return exact
+}
+
+// isExact reports whether an expert seen in `present` responses is fully
+// determined: it must appear in every response that could omit entries.
+// An exhausted response omits only zero-score experts, so absence there
+// costs nothing.
+func isExact(present int, resps []*ShardExpertsResponse) bool {
+	required := 0
+	for _, r := range resps {
+		if r != nil && !r.Exhausted {
+			required++
+		}
+	}
+	// Present in all truncated responses — absences can only be in
+	// exhausted ones (score exactly 0 there).
+	return present >= required
+}
+
+func (rt *Router) handleExperts(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	n, err := rt.intParam(r, "n", rt.cfg.DefaultN, rt.cfg.MaxN)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m, err := rt.intParam(r, "m", rt.cfg.DefaultM, rt.cfg.MaxM)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := rt.queryContext(r)
+	defer cancel()
+
+	experts, ms, err := rt.rankExperts(ctx, q, m, n)
+	if rt.writeRouterError(w, err) {
+		return
+	}
+	resp := serve.ExpertsResponse{
+		Query:      q,
+		ResponseMs: float64(time.Since(start).Microseconds()) / 1000,
+		Candidates: ms.candidates,
+		TADepth:    ms.rounds,
+		Experts:    make([]serve.ExpertResult, 0, len(experts)),
+	}
+	for i, e := range experts {
+		resp.Experts = append(resp.Experts, serve.ExpertResult{
+			Rank:   i + 1,
+			ID:     e.id,
+			Name:   e.name,
+			Score:  e.score,
+			Papers: e.papers,
+		})
+	}
+	rt.writeJSON(w, resp)
+}
+
+func (rt *Router) handlePapers(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	m, err := rt.intParam(r, "m", rt.cfg.DefaultN, rt.cfg.MaxM)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := rt.queryContext(r)
+	defer cancel()
+	resps, err := rt.scatterPapers(ctx, q, m, true)
+	if rt.writeRouterError(w, err) {
+		return
+	}
+	merged := mergePapers(resps, m)
+	out := make([]serve.PaperResult, 0, len(merged))
+	for _, p := range merged {
+		out = append(out, serve.PaperResult{
+			Rank:    p.rank,
+			ID:      p.ID,
+			Text:    runeTruncate(p.Text, 120),
+			Authors: p.Authors,
+		})
+	}
+	rt.writeJSON(w, out)
+}
+
+// RouterHealth is the router's /healthz payload.
+type RouterHealth struct {
+	serve.Topology
+	AliveReplicas []int `json:"alive_replicas"`
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, RouterHealth{
+		Topology: serve.Topology{
+			Role:     "router",
+			Shards:   rt.client.NumShards(),
+			Replicas: rt.client.Replicas(),
+		},
+		AliveReplicas: rt.client.AliveReplicas(),
+	})
+}
+
+// handleReady gates traffic on the whole topology: at boot the router
+// scans every shard for a ready replica once; afterwards a shard losing
+// all its non-ejected replicas flips readiness off until a probe
+// re-admits one.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	notReady := func(why string) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\n  \"status\": %q\n}\n", why)
+	}
+	if !rt.ready.Load() {
+		notReady("draining")
+		return
+	}
+	if !rt.bootOK.Load() {
+		if !rt.client.CheckReady(r.Context()) {
+			notReady("waiting for shards")
+			return
+		}
+		rt.bootOK.Store(true)
+	}
+	for shard, alive := range rt.client.AliveReplicas() {
+		if alive == 0 {
+			notReady(fmt.Sprintf("shard %d has no live replicas", shard))
+			return
+		}
+	}
+	rt.writeJSON(w, serve.ReadyResponse{Status: "ready"})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.reg.WritePrometheus(w)
+}
+
+func (rt *Router) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, rt.reg.Snapshot())
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, v interface{}) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+// runeTruncate shortens s to at most n runes plus an ellipsis, matching
+// the single-node /papers text truncation.
+func runeTruncate(s string, n int) string {
+	seen := 0
+	for i := range s {
+		if seen == n {
+			return s[:i] + "..."
+		}
+		seen++
+	}
+	return s
+}

@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"expertfind/internal/core"
+	"expertfind/internal/serve"
+)
+
+// BudgetHeader carries the router's per-attempt deadline budget, in
+// milliseconds, to the shard. The shard bounds its own work by it so a
+// sub-request never outlives the fan-out attempt that issued it — the
+// router's context deadline cannot reach across the process boundary, the
+// header can.
+const BudgetHeader = "X-Budget-Ms"
+
+// MountShard exposes the internal shard API on an existing serve.Server:
+//
+//	GET  /shard/papers?q=&m=[&meta=1] -> PapersResponse
+//	POST /shard/experts               -> ShardExpertsResponse
+//
+// The routes ride the server's observability middleware and in-flight
+// shedding like the public ones, and honour the X-Budget-Ms deadline
+// budget. The server's /healthz topology block is set to the shard's
+// coordinates (satisfying probes that must tell topology members apart).
+func MountShard(srv *serve.Server, se *ShardEngine) {
+	sh := &shardAPI{srv: srv, se: se}
+	srv.Handle("/shard/papers", sh.handlePapers)
+	srv.Handle("/shard/experts", sh.handleExperts)
+	srv.SetTopology(serve.Topology{
+		Role:        "shard",
+		ShardID:     se.ID(),
+		Shards:      se.Of(),
+		OwnedPapers: se.NumOwned(),
+	})
+}
+
+type shardAPI struct {
+	srv *serve.Server
+	se  *ShardEngine
+}
+
+// budgetContext bounds ctx by the request's X-Budget-Ms header, when
+// present and positive.
+func budgetContext(ctx context.Context, r *http.Request) (context.Context, context.CancelFunc) {
+	raw := r.Header.Get(BudgetHeader)
+	if raw == "" {
+		return ctx, func() {}
+	}
+	ms, err := strconv.Atoi(raw)
+	if err != nil || ms <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+}
+
+// writeShardError maps shard-side failures the way the public query
+// routes do: 400 for bad parameters, 504 past the budget, 499 when the
+// router went away, 500 otherwise.
+func writeShardError(w http.ResponseWriter, err error) bool {
+	if err == nil {
+		return false
+	}
+	var bad *core.BadParamError
+	switch {
+	case errors.As(err, &bad):
+		http.Error(w, bad.Error(), http.StatusBadRequest)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "shard budget exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, "router closed request", 499)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+	return true
+}
+
+func (sh *shardAPI) handlePapers(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	m, err := strconv.Atoi(r.URL.Query().Get("m"))
+	if err != nil || m < 1 {
+		http.Error(w, "parameter m must be a positive integer", http.StatusBadRequest)
+		return
+	}
+	withMeta := r.URL.Query().Get("meta") == "1"
+	ctx, cancel := budgetContext(r.Context(), r)
+	defer cancel()
+
+	res, err := sh.se.Retrieve(ctx, q, m)
+	if writeShardError(w, err) {
+		return
+	}
+	resp := PapersResponse{Shard: sh.se.ID(), Papers: make([]WirePaper, 0, len(res))}
+	for _, p := range res {
+		wp := WirePaper{ID: int32(p.ID), Dist: p.Dist}
+		if withMeta {
+			wp.Text, wp.Authors = sh.se.PaperMeta(p.ID)
+		}
+		resp.Papers = append(resp.Papers, wp)
+	}
+	sh.srv.WriteJSON(w, resp)
+}
+
+func (sh *shardAPI) handleExperts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ExpertsRequest
+	body := http.MaxBytesReader(w, r.Body, 8<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := budgetContext(r.Context(), r)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		writeShardError(w, err)
+		return
+	}
+	resp, err := sh.se.ScoreExperts(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sh.srv.WriteJSON(w, resp)
+}

@@ -225,7 +225,8 @@ func Build(g *hetgraph.Graph, opts Options) (*Engine, error) {
 
 	if boolOpt(opts.UsePGIndex, true) {
 		_, sp = obs.StartSpan(ctx, "indexing")
-		e.index = pgindex.Build(e.Embeddings, opts.Index)
+		e.index = pgindex.BuildWithRand(e.Embeddings, opts.Index,
+			rand.New(rand.NewSource(opts.Index.Seed)))
 		e.stats.IndexTime = sp.End()
 		e.stats.IndexEdges = e.index.NumEdges()
 		e.stats.IndexMemory = e.index.MemoryBytes()

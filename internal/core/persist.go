@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/rand"
 
 	"expertfind/internal/durable"
 	"expertfind/internal/hetgraph"
@@ -268,7 +269,8 @@ func loadPayload(version uint16, payload []byte, name string, g *hetgraph.Graph)
 	e.Embeddings = train.EmbedAll(enc, e.cache)
 	e.stats.VocabSize = len(p.Engine.Tokens)
 	if p.Engine.UsePGIndex {
-		e.index = pgindex.Build(e.Embeddings, opts.Index)
+		e.index = pgindex.BuildWithRand(e.Embeddings, opts.Index,
+			rand.New(rand.NewSource(opts.Index.Seed)))
 		e.stats.IndexEdges = e.index.NumEdges()
 		e.stats.IndexMemory = e.index.MemoryBytes()
 	}

@@ -35,16 +35,25 @@ func (g *Graph) WriteJSON(w io.Writer) error {
 	for i := range doc.Nodes {
 		doc.Nodes[i] = nodeJSON{Type: g.types[i].String(), Label: g.labels[i]}
 	}
-	// Re-derive edges from adjacency: for each node u, each neighbour v>u
-	// would lose insertion order across types, so instead walk u's typed
-	// partitions and emit each undirected edge once from its lower endpoint
-	// (or from u for same-type Cite edges when u < v).
+	// Re-derive edges from adjacency, emitting each undirected edge once
+	// FROM ITS PAPER ENDPOINT (every schema edge type touches a paper):
+	// the reader appends neighbours in edge order, so walking each paper's
+	// typed partitions reproduces its adjacency order exactly — in
+	// particular the author list, whose positions are the Zipf
+	// contribution ranks of expert scoring. Emitting from the lower
+	// endpoint instead (authors usually precede papers in id order) would
+	// rebuild author lists in author-id order and silently change every
+	// loaded corpus's expert scores. Cite edges (paper-paper) are
+	// deduplicated by emitting only towards the higher id.
 	for u := range g.adj {
 		uid := NodeID(u)
+		if g.types[uid] != Paper {
+			continue
+		}
 		for t := NodeType(0); t < numNodeTypes; t++ {
 			for _, v := range g.adj[u][t] {
-				if v < uid {
-					continue // emitted from the other side
+				if g.types[v] == Paper && v < uid {
+					continue // Cite edge, emitted from the lower paper
 				}
 				et, err := edgeTypeFor(g.types[uid], g.types[v])
 				if err != nil {

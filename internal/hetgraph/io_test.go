@@ -44,6 +44,48 @@ func TestJSONRoundTrip(t *testing.T) {
 	_ = n
 }
 
+// TestJSONRoundTripAuthorsBeforePapers pins the regression where edges
+// were emitted from their lower-id endpoint: with authors inserted before
+// papers (the dataset generator's layout), that rebuilt every paper's
+// author list in author-id order instead of rank order, silently changing
+// the Zipf contribution ranks of any corpus loaded from JSON.
+func TestJSONRoundTripAuthorsBeforePapers(t *testing.T) {
+	g := New()
+	var authors []NodeID
+	for i := 0; i < 6; i++ {
+		authors = append(authors, g.AddNode(Author, "name"))
+	}
+	rng := rand.New(rand.NewSource(42))
+	var papers []NodeID
+	for i := 0; i < 10; i++ {
+		p := g.AddNode(Paper, "text")
+		papers = append(papers, p)
+		// Author ranks deliberately not in ascending id order.
+		perm := rng.Perm(len(authors))[:3]
+		for _, j := range perm {
+			g.MustAddEdge(p, authors[j], Write)
+		}
+	}
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range papers {
+		want := g.AuthorsOf(p)
+		got := g2.AuthorsOf(p)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("paper %d: author rank %d is %d after round trip, want %d",
+					p, i+1, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestJSONRoundTripRandomGraphs(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		rng := rand.New(rand.NewSource(seed))

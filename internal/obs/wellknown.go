@@ -41,3 +41,28 @@ func RegisterWellKnown(r *Registry) {
 	r.declare("expertfind_stage_seconds",
 		"Duration of pipeline stages, labelled by span path.", histogramKind, nil)
 }
+
+// RegisterCluster pre-declares the sharded-cluster metric families — the
+// router's per-shard fan-out instrumentation — so they expose the right
+// type and help text before the first scatter. Per-shard series carry a
+// shard="<id>" label (and replica="<addr>" where noted); declaring the
+// family here does not create an unlabelled series.
+func RegisterCluster(r *Registry) {
+	for name, help := range map[string]string{
+		"expertfind_cluster_fanout_errors_total":     "Failed shard sub-requests (after all retries), by shard.",
+		"expertfind_cluster_retries_total":           "Shard sub-request retries, by shard.",
+		"expertfind_cluster_hedges_total":            "Hedged (duplicate) shard sub-requests launched, by shard.",
+		"expertfind_cluster_hedge_wins_total":        "Hedged shard sub-requests that finished before the primary, by shard.",
+		"expertfind_cluster_ejections_total":         "Replica ejections after consecutive failures, by shard and replica.",
+		"expertfind_cluster_readmissions_total":      "Ejected replicas re-admitted by a successful probe, by shard and replica.",
+		"expertfind_cluster_deep_fetches_total":      "Extra scatter rounds issued because the distributed threshold bound was not satisfied.",
+		"expertfind_cluster_wire_bytes_total":        "Response bytes read from shard sub-requests, by shard.",
+		"expertfind_cluster_shard_unavailable_total": "Queries failed because a whole shard (every replica) was unreachable.",
+	} {
+		r.declare(name, help, counterKind, nil)
+	}
+	r.declare("expertfind_cluster_fanout_seconds",
+		"Latency of shard sub-requests, by shard.", histogramKind, nil)
+	r.declare("expertfind_cluster_replicas_alive",
+		"Non-ejected replicas per shard.", gaugeKind, nil)
+}

@@ -75,6 +75,16 @@ type Result struct {
 // NNDescent, long-distance neighbour extension, and redundant-neighbour
 // removal. Construction is deterministic for a given cfg.Seed.
 func Build(embs map[hetgraph.NodeID]vec.Vector, cfg Config) *Index {
+	return BuildWithRand(embs, cfg, rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// BuildWithRand is Build with the random source injected. The only
+// randomness in construction is NNDescent's kNN-graph initialisation, and
+// it draws exclusively from rng — never the global math/rand source — so
+// two builds over equal embeddings with identically seeded rngs produce
+// identical indexes. Cluster shards rely on this to rebuild bit-identical
+// per-shard indexes independently on every replica.
+func BuildWithRand(embs map[hetgraph.NodeID]vec.Vector, cfg Config, rng *rand.Rand) *Index {
 	cfg = cfg.withDefaults()
 	idx := &Index{pos: make(map[hetgraph.NodeID]int32, len(embs))}
 	idx.ids = make([]hetgraph.NodeID, 0, len(embs))
@@ -103,7 +113,6 @@ func Build(embs map[hetgraph.NodeID]vec.Vector, cfg Config) *Index {
 	idx.nav = int32(best)
 
 	// (2) Initialise the kNN graph with NNDescent.
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	knn := nnDescent(idx.embs, cfg.K, cfg.MaxIters, rng)
 
 	if !cfg.Refine {

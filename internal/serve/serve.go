@@ -52,6 +52,9 @@ type Server struct {
 	RetryAfter time.Duration
 
 	inflightQueries atomic.Int64
+	// topology is the /healthz identity block; zero value reports role
+	// "single". See SetTopology.
+	topology Topology
 	// ready gates /readyz (and update acceptance): false until the
 	// operator signals that recovery — engine load/build and WAL replay —
 	// is complete. See SetReady.
@@ -88,6 +91,17 @@ func New(engine *core.Engine) *Server {
 	s.mux.HandleFunc("/debug/vars", s.handleDebugVars)
 	return s
 }
+
+// Handle mounts an additional handler on the server's mux, behind the
+// same observability middleware as the built-in routes. The cluster layer
+// uses this to expose the internal /shard/* APIs on a shard server.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, h)
+}
+
+// WriteJSON renders v as indented JSON with the server's buffered-encode
+// error handling, for handlers mounted via Handle.
+func (s *Server) WriteJSON(w http.ResponseWriter, v interface{}) { s.writeJSON(w, v) }
 
 // SetReady flips the /readyz gate. Serve it false while booting —
 // building or loading the engine, replaying the WAL — so load
@@ -439,8 +453,25 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, ReadyResponse{Status: "ready"})
 }
 
+// Topology identifies a process's place in a (possibly sharded) cluster,
+// reported on /healthz so probes and operators can tell topology members
+// apart. A single-node server is role "single"; shard servers add their
+// shard position, and routers list the replica sets they fan out to.
+type Topology struct {
+	Role string `json:"role"`
+	// ShardID/Shards place a shard server in the partition (shard role
+	// only; ShardID is meaningful when Shards > 0).
+	ShardID int `json:"shard_id,omitempty"`
+	Shards  int `json:"shards,omitempty"`
+	// OwnedPapers counts the papers this shard serves (shard role only).
+	OwnedPapers int `json:"owned_papers,omitempty"`
+	// Replicas lists each shard's replica addresses (router role only).
+	Replicas [][]string `json:"replicas,omitempty"`
+}
+
 // HealthResponse is the /healthz payload.
 type HealthResponse struct {
+	Topology
 	Papers     int   `json:"papers"`
 	Experts    int   `json:"experts"`
 	VocabSize  int   `json:"vocab_size"`
@@ -448,10 +479,20 @@ type HealthResponse struct {
 	IndexBytes int64 `json:"index_bytes"`
 }
 
+// SetTopology overrides the topology block reported on /healthz. The
+// default is role "single"; shard mode calls this with its shard
+// coordinates before serving.
+func (s *Server) SetTopology(t Topology) { s.topology = t }
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	g := s.engine.Graph()
 	st := s.engine.Stats()
+	top := s.topology
+	if top.Role == "" {
+		top.Role = "single"
+	}
 	s.writeJSON(w, HealthResponse{
+		Topology:   top,
 		Papers:     g.NumNodesOfType(hetgraph.Paper),
 		Experts:    g.NumNodesOfType(hetgraph.Author),
 		VocabSize:  st.VocabSize,

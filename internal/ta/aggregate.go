@@ -27,8 +27,10 @@ type KeyScore struct {
 // lists, assuming every list is sorted descending by score and scores are
 // non-negative (absent keys contribute zero — the S(a,p)=0 convention).
 // numKeys bounds the key space; exact(key) must return the key's true
-// total, and is only called for keys whose accumulated sum is incomplete
-// when the threshold test fires (Theorem 2).
+// total. It is called for keys whose accumulated sum is incomplete when
+// the threshold test fires (Theorem 2), and once more for each returned
+// key so published scores carry exact()'s summation-order bits rather
+// than the scan's (see the canonicalisation note below).
 //
 // Results are sorted by score descending, ties by key ascending. Stats
 // reports the sorted accesses performed and whether the scan stopped
@@ -103,14 +105,29 @@ func AggregateCtx(ctx context.Context, lists [][]ListEntry, numKeys, n int,
 		}
 		out = append(out, KeyScore{Key: k, Score: score})
 	}
+	sortKeyScoresDesc(out)
+	if len(out) > n {
+		out = out[:n]
+	}
+	// Canonicalise the returned scores: the accumulated sums above depend
+	// on the order the scan happened to consume entries (and whether the
+	// threshold fired before a key's last entry), so two runs reaching the
+	// same winners can disagree in the last ulp. Re-scoring every returned
+	// key through exact() — whose summation order is fixed by the caller —
+	// makes the published scores a pure function of the input, which is
+	// what lets a distributed merge reproduce them bit for bit.
+	for i := range out {
+		out[i].Score = exact(out[i].Key)
+	}
+	sortKeyScoresDesc(out)
+	return out, st, nil
+}
+
+func sortKeyScoresDesc(out []KeyScore) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
 		return out[i].Key < out[j].Key
 	})
-	if len(out) > n {
-		out = out[:n]
-	}
-	return out, st, nil
 }

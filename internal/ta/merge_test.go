@@ -1,0 +1,201 @@
+package ta
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"expertfind/internal/hetgraph"
+)
+
+func rankings(pairs ...interface{}) []Ranking {
+	out := make([]Ranking, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Ranking{
+			Expert: hetgraph.NodeID(pairs[i].(int)),
+			Score:  pairs[i+1].(float64),
+		})
+	}
+	return out
+}
+
+func TestMergePartialsExhausted(t *testing.T) {
+	// Two exhausted shards: the merge is a plain per-expert sum and is
+	// always certified.
+	parts := []Partial{
+		{Entries: rankings(1, 0.5, 2, 0.25), Exhausted: true},
+		{Entries: rankings(2, 0.5, 3, 0.125), Exhausted: true},
+	}
+	top, st := MergePartials(parts, 3)
+	if !st.Satisfied {
+		t.Fatal("exhausted partials must satisfy the bound")
+	}
+	want := rankings(2, 0.75, 1, 0.5, 3, 0.125)
+	if !reflect.DeepEqual(top, want) {
+		t.Fatalf("merged = %v, want %v", top, want)
+	}
+	if st.Candidates != 3 || st.Inexact != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMergePartialsBoundSatisfied(t *testing.T) {
+	// Expert 1 is present in both truncated shards with a total far above
+	// anything the thresholds could assemble, so one round certifies it.
+	parts := []Partial{
+		{Entries: rankings(1, 10.0), Threshold: 0.5},
+		{Entries: rankings(1, 8.0), Threshold: 0.5},
+	}
+	top, st := MergePartials(parts, 1)
+	if !st.Satisfied {
+		t.Fatalf("bound should be satisfied: %+v", st)
+	}
+	if len(top) != 1 || top[0].Expert != 1 || top[0].Score != 18.0 {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestMergePartialsNeedsDeeperFetch(t *testing.T) {
+	// Expert 2 is missing from shard 1's truncated list; its upper bound
+	// (6+3=9) beats expert 1's exact 4+4=8, so the merge must refuse.
+	parts := []Partial{
+		{Entries: rankings(2, 6.0, 1, 4.0), Threshold: 4.0},
+		{Entries: rankings(1, 4.0, 3, 3.0), Threshold: 3.0},
+	}
+	_, st := MergePartials(parts, 1)
+	if st.Satisfied {
+		t.Fatal("bound must not be satisfied while expert 2's upper bound dominates")
+	}
+	if st.Inexact == 0 {
+		t.Fatalf("expected inexact candidates, stats %+v", st)
+	}
+}
+
+func TestMergePartialsUnseenCandidateBlocks(t *testing.T) {
+	// Thresholds alone could hide an unseen expert with up to 3.0 total,
+	// above the best exact score — not certifiable.
+	parts := []Partial{
+		{Entries: rankings(1, 1.0), Threshold: 1.5},
+		{Entries: rankings(1, 1.0), Threshold: 1.5},
+	}
+	_, st := MergePartials(parts, 1)
+	if st.Satisfied {
+		t.Fatal("unseen-candidate bound must block certification")
+	}
+}
+
+func TestMergePartialsBoundaryTieIsConservative(t *testing.T) {
+	// Expert 9's upper bound (2+1=3) exactly touches expert 10's exact
+	// score 3: a true tie would be won by the smaller id, so the merge
+	// must deepen rather than certify.
+	parts := []Partial{
+		{Entries: rankings(10, 2.0), Threshold: 1.0},
+		{Entries: rankings(9, 2.0, 10, 1.0), Threshold: 2.0},
+	}
+	_, st := MergePartials(parts, 1)
+	if st.Satisfied {
+		t.Fatal("boundary-touching upper bound must not certify")
+	}
+}
+
+func TestMergePartialsTieOrder(t *testing.T) {
+	// Equal merged scores must come back ordered by expert id ascending.
+	parts := []Partial{
+		{Entries: rankings(7, 0.5, 3, 0.5, 5, 0.5), Exhausted: true},
+		{Entries: rankings(5, 0.5, 3, 0.5, 7, 0.5), Exhausted: true},
+	}
+	top, st := MergePartials(parts, 3)
+	if !st.Satisfied {
+		t.Fatal("exhausted partials must satisfy")
+	}
+	want := rankings(3, 1.0, 5, 1.0, 7, 1.0)
+	if !reflect.DeepEqual(top, want) {
+		t.Fatalf("tie order = %v, want %v", top, want)
+	}
+}
+
+func TestMergePartialsEdgeCases(t *testing.T) {
+	if top, st := MergePartials(nil, 5); top != nil || !st.Satisfied {
+		t.Fatalf("nil parts: %v %+v", top, st)
+	}
+	if top, st := MergePartials([]Partial{{Exhausted: true}}, 0); top != nil || !st.Satisfied {
+		t.Fatalf("n=0: %v %+v", top, st)
+	}
+	// Fewer candidates than n, all exhausted: return everyone, certified.
+	top, st := MergePartials([]Partial{{Entries: rankings(1, 1.0), Exhausted: true}}, 10)
+	if !st.Satisfied || len(top) != 1 {
+		t.Fatalf("short exhausted merge: %v %+v", top, st)
+	}
+	// Fewer exact candidates than n with a truncated shard: must deepen.
+	_, st = MergePartials([]Partial{{Entries: rankings(1, 1.0), Threshold: 0.5}}, 10)
+	if st.Satisfied {
+		t.Fatal("short truncated merge must not certify")
+	}
+}
+
+// TestMergePartialsMatchesFullMergeRandom cross-checks the certified merge
+// against the trivial exhaustive merge on random per-shard score tables:
+// whenever a truncated merge certifies, its answer must equal the
+// exhaustive one, bit for bit and in the same order.
+func TestMergePartialsMatchesFullMergeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		shards := 2 + rng.Intn(3)
+		experts := 4 + rng.Intn(12)
+		n := 1 + rng.Intn(4)
+
+		// Random per-shard partial scores; ~half the (shard, expert)
+		// pairs are zero so absence is common.
+		scores := make([][]float64, shards)
+		for s := range scores {
+			scores[s] = make([]float64, experts)
+			for a := range scores[s] {
+				if rng.Intn(2) == 0 {
+					scores[s][a] = float64(1+rng.Intn(8)) / 8
+				}
+			}
+		}
+		full := func(s int) []Ranking {
+			var l []Ranking
+			for a := 0; a < experts; a++ {
+				if scores[s][a] > 0 {
+					l = append(l, Ranking{Expert: hetgraph.NodeID(a), Score: scores[s][a]})
+				}
+			}
+			sort.Slice(l, func(i, j int) bool {
+				if l[i].Score != l[j].Score {
+					return l[i].Score > l[j].Score
+				}
+				return l[i].Expert < l[j].Expert
+			})
+			return l
+		}
+
+		exhaustive := make([]Partial, shards)
+		for s := range exhaustive {
+			exhaustive[s] = Partial{Entries: full(s), Exhausted: true}
+		}
+		want, st := MergePartials(exhaustive, n)
+		if !st.Satisfied {
+			t.Fatalf("trial %d: exhaustive merge not satisfied", trial)
+		}
+
+		// Truncate each shard to a random depth and merge; a certified
+		// answer must match the exhaustive one exactly.
+		limit := 1 + rng.Intn(experts)
+		truncated := make([]Partial, shards)
+		for s := range truncated {
+			l := full(s)
+			if len(l) > limit {
+				truncated[s] = Partial{Entries: l[:limit], Threshold: l[limit].Score}
+			} else {
+				truncated[s] = Partial{Entries: l, Exhausted: true}
+			}
+		}
+		got, st := MergePartials(truncated, n)
+		if st.Satisfied && !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: certified merge %v != exhaustive %v", trial, got, want)
+		}
+	}
+}

@@ -137,32 +137,28 @@ func TopExperts(g *hetgraph.Graph, papers []hetgraph.NodeID, n int) ([]Ranking, 
 func TopExpertsCtx(ctx context.Context, g *hetgraph.Graph, papers []hetgraph.NodeID, n int) ([]Ranking, Stats, error) {
 	lists, cands := buildLists(g, papers)
 
-	// Random-access scorer for candidates whose accumulated sum is
-	// incomplete at termination: recompute R(a) over their papers. The
-	// rank map is built lazily — TA usually terminates with complete
-	// sums for the winners.
-	var paperRank map[hetgraph.NodeID]int
+	// Random-access scorer: recompute R(a) by walking the retrieved list
+	// in ASCENDING PAPER RANK. This order is the package's canonical
+	// summation order — Aggregate re-scores every returned winner through
+	// it, and cluster routers re-sum cross-shard contributions in the
+	// same order, so single-node and distributed scores agree bit for
+	// bit. The per-author contribution index is built lazily on the first
+	// call — TA often terminates without needing random access at all.
+	var contribs map[int32][]float64
 	exact := func(key int32) float64 {
-		if paperRank == nil {
-			paperRank = make(map[hetgraph.NodeID]int, len(papers))
+		if contribs == nil {
+			contribs = make(map[int32][]float64, len(cands.ids))
 			for j, p := range papers {
-				paperRank[p] = j + 1
-			}
-		}
-		a := cands.ids[key]
-		var r float64
-		for _, p := range g.PapersOf(a) {
-			j, ok := paperRank[p]
-			if !ok {
-				continue
-			}
-			authors := g.AuthorsOf(p)
-			for i, x := range authors {
-				if x == a {
-					r += ExpertScore(j, i+1, len(authors))
-					break
+				authors := g.AuthorsOf(p)
+				for i, a := range authors {
+					k := cands.idx[a]
+					contribs[k] = append(contribs[k], ExpertScore(j+1, i+1, len(authors)))
 				}
 			}
+		}
+		var r float64
+		for _, s := range contribs[key] {
+			r += s
 		}
 		return r
 	}
