@@ -54,10 +54,12 @@ func TestClusterE2E(t *testing.T) {
 	}
 
 	// Three shards over a small deterministic corpus; shard 0 runs twice
-	// (two replicas of the identical deterministic build).
+	// (two replicas of the identical deterministic build). Tracing is on
+	// everywhere with sample rate 1, so every query's trace is retained.
 	const shards = 3
 	corpus := []string{"-dataset", "aminer", "-papers", "120", "-dim", "8", "-seed", "7",
-		"-query-cache", "0", "-drain-timeout", "2s"}
+		"-query-cache", "0", "-drain-timeout", "2s",
+		"-trace-capacity", "64", "-trace-sample", "1"}
 	shardAddrs := make([][]string, shards)
 	for i := 0; i < shards; i++ {
 		reps := 1
@@ -86,9 +88,12 @@ func TestClusterE2E(t *testing.T) {
 	for _, g := range shardAddrs {
 		groups = append(groups, strings.Join(g, "|"))
 	}
+	// -hedge-after 1ns hedges every sub-request to shard 0's second
+	// replica, so the assembled trace must show a hedged attempt.
 	start("-role", "router", "-addr", routerAddr,
 		"-replicas", strings.Join(groups, ","),
-		"-shard-retries", "2", "-probe-interval", "200ms", "-eject-after", "2")
+		"-shard-retries", "2", "-probe-interval", "200ms", "-eject-after", "2",
+		"-trace-capacity", "64", "-trace-sample", "1", "-hedge-after", "1ns")
 	routerBase := "http://" + routerAddr
 
 	// Readiness: every shard replica, then the router (which gates on all
@@ -134,6 +139,77 @@ func TestClusterE2E(t *testing.T) {
 	getJSON(t, queryURL, &before)
 	if len(before.Experts) == 0 {
 		t.Fatal("golden query returned no experts")
+	}
+
+	// One query with ?debug=1 must yield ONE assembled cross-node trace:
+	// the router's span tree with every shard's subtree grafted in under
+	// the same trace id, hedged attempt included. Asserted while the
+	// topology is fully healthy, before the replica kill below.
+	var dbg struct {
+		Debug *struct {
+			TraceID string `json:"trace_id"`
+		} `json:"debug"`
+	}
+	getJSON(t, queryURL+"&debug=1", &dbg)
+	if dbg.Debug == nil || len(dbg.Debug.TraceID) != 32 {
+		t.Fatalf("debug=1 response has no usable trace id: %+v", dbg.Debug)
+	}
+	traceID := dbg.Debug.TraceID
+	type spanNode struct {
+		Name     string            `json:"name"`
+		Attrs    map[string]string `json:"attrs"`
+		Children []spanNode        `json:"children"`
+	}
+	var tr struct {
+		TraceID string `json:"trace_id"`
+		Records []struct {
+			TraceID string   `json:"trace_id"`
+			Kept    string   `json:"kept"`
+			Root    spanNode `json:"root"`
+		} `json:"records"`
+	}
+	getJSON(t, routerBase+"/debug/traces/"+traceID, &tr)
+	if len(tr.Records) != 1 || tr.Records[0].TraceID != traceID {
+		t.Fatalf("router trace %s: %+v", traceID, tr.Records)
+	}
+	root := tr.Records[0].Root
+	if root.Name != "query" {
+		t.Fatalf("assembled trace root %q, want query", root.Name)
+	}
+	shardsSeen := map[string]bool{}
+	hedged := false
+	var walk func(n spanNode)
+	walk = func(n spanNode) {
+		if n.Name == "shard_papers" || n.Name == "shard_experts" {
+			shardsSeen[n.Attrs["shard"]] = true
+		}
+		if n.Name == "rpc" && n.Attrs["hedge"] == "1" {
+			hedged = true
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	for i := 0; i < shards; i++ {
+		if !shardsSeen[fmt.Sprint(i)] {
+			t.Errorf("assembled trace has no grafted subtree from shard %d (saw %v)",
+				i, shardsSeen)
+		}
+	}
+	if !hedged {
+		t.Error("assembled trace shows no hedged rpc span despite -hedge-after 1ns")
+	}
+	// Cross-node identity: a shard process retains its own records under
+	// the SAME trace id the router handed out.
+	var shardTr struct {
+		Records []struct {
+			TraceID string `json:"trace_id"`
+		} `json:"records"`
+	}
+	getJSON(t, "http://"+shardAddrs[1][0]+"/debug/traces/"+traceID, &shardTr)
+	if len(shardTr.Records) == 0 {
+		t.Fatalf("shard 1 retained no records for trace %s", traceID)
 	}
 
 	// SIGKILL one replica of shard 0 — no goodbye, no drain.

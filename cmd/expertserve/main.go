@@ -12,6 +12,7 @@
 //	GET  /readyz                                -> readiness (503 while recovering)
 //	GET  /metrics                               -> Prometheus text metrics
 //	GET  /debug/vars                            -> JSON metrics snapshot
+//	GET  /debug/traces[/{id}]                   -> retained distributed traces
 //	GET  /debug/pprof/*                         -> profiling (with -pprof)
 //
 // With -data-dir the engine state is durable: a checksummed snapshot
@@ -77,6 +78,11 @@ func main() {
 		queryTTL    = flag.Duration("query-cache-ttl", 5*time.Minute, "query-cache entry TTL (0 = no expiry)")
 		queryTO     = flag.Duration("query-timeout", 2*time.Second, "per-request query deadline, 504 past it (0 = none)")
 		maxInflight = flag.Int("max-inflight", 256, "concurrent query requests before shedding 503 (0 = unlimited)")
+
+		traceCap     = flag.Int("trace-capacity", 512, "retained traces in the /debug/traces ring (0 disables trace retention)")
+		traceSample  = flag.Int("trace-sample", 64, "tail sampling: keep 1 in N ordinary traces (negative disables the rule)")
+		traceSlowest = flag.Int("trace-slowest", 32, "tail sampling: always keep a trace ranking among the N slowest retained (negative disables the rule)")
+		slowQuery    = flag.Duration("slow-query", 0, "log any request at least this slow with its trace id (0 disables)")
 
 		role         = flag.String("role", "single", "topology role: single, shard, or router")
 		shards       = flag.Int("shards", 0, "total shard count of the topology (role shard)")
@@ -152,6 +158,8 @@ func main() {
 		router := cluster.NewRouter(client, cluster.RouterConfig{
 			QueryTimeout: *queryTO,
 		}, reg, logger)
+		router.Traces = newTraceStore(*traceCap, *traceSlowest, *traceSample, reg)
+		router.SlowQuery = *slowQuery
 		gate.Install(router)
 		logger.Info("serving", "addr", *addr, "role", "router",
 			"shards", client.NumShards(), "hedge_after", *hedgeAfter,
@@ -259,6 +267,8 @@ func main() {
 	srv.Log = logger
 	srv.QueryTimeout = *queryTO
 	srv.MaxInFlight = *maxInflight
+	srv.Traces = newTraceStore(*traceCap, *traceSlowest, *traceSample, reg)
+	srv.SlowQuery = *slowQuery
 	if *enablePprof {
 		srv.EnablePprof()
 		logger.Info("pprof_enabled", "path", "/debug/pprof/")
@@ -315,6 +325,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+}
+
+// newTraceStore builds the trace ring from the -trace-* flags; capacity
+// 0 turns trace retention off entirely (nil store, /debug/traces 404s).
+func newTraceStore(capacity, slowest, sample int, reg *obs.Registry) *obs.TraceStore {
+	if capacity <= 0 {
+		return nil
+	}
+	return obs.NewTraceStore(obs.TracePolicy{
+		Capacity:    capacity,
+		SlowestN:    slowest,
+		SampleEvery: sample,
+	}, reg)
 }
 
 // parseReplicas decodes the -replicas grammar: shards separated by

@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -241,6 +242,21 @@ func (c *ShardClient) hedgeDelay(shard int) time.Duration {
 	return d
 }
 
+// collectKey flags a context whose sub-requests should ask shards to
+// return their span trees in the response envelope. The router sets it
+// only when it holds a trace store — untraced deployments never pay the
+// export or wire cost.
+type collectKey struct{}
+
+func withCollect(ctx context.Context) context.Context {
+	return context.WithValue(ctx, collectKey{}, true)
+}
+
+func collectEnabled(ctx context.Context) bool {
+	on, _ := ctx.Value(collectKey{}).(bool)
+	return on
+}
+
 // shardError is a sub-request failure after all attempts; the router maps
 // it to 502.
 type shardError struct {
@@ -314,22 +330,37 @@ func (c *ShardClient) attemptContext(ctx context.Context, attemptsLeft int) (con
 }
 
 // attempt issues one (possibly hedged) request to the shard. On a hedge,
-// the first response wins and the loser's context is cancelled.
+// the first response wins and the loser's context is cancelled. Each
+// launched request gets its own "rpc" span — hedges appear as siblings —
+// annotated with the replica it hit; the winning hedge additionally gets
+// a hedge_win mark (attributes are safe to set after End, which only
+// freezes timing).
 func (c *ShardClient) attempt(ctx context.Context, rs *replicaSet, rp *replica, method, path string, body []byte) ([]byte, error) {
 	type outcome struct {
 		body   []byte
 		err    error
 		rp     *replica
 		hedged bool
+		span   *obs.Span
 	}
 	results := make(chan outcome, 2)
 	hctx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
 
 	launch := func(target *replica, hedged bool) {
+		sctx, span := obs.StartSpan(hctx, "rpc")
+		span.Annotate("replica", target.addr)
+		span.Annotate("shard", strconv.Itoa(rs.shard))
+		if hedged {
+			span.Annotate("hedge", "1")
+		}
 		go func() {
-			b, err := c.send(hctx, rs.shard, target, method, path, body)
-			results <- outcome{body: b, err: err, rp: target, hedged: hedged}
+			b, err := c.send(sctx, rs.shard, target, method, path, body)
+			span.End()
+			if err != nil {
+				span.Annotate("error", err.Error())
+			}
+			results <- outcome{body: b, err: err, rp: target, hedged: hedged, span: span}
 		}()
 	}
 	launch(rp, false)
@@ -362,6 +393,7 @@ func (c *ShardClient) attempt(ctx context.Context, rs *replicaSet, rp *replica, 
 					c.reg.Counter("expertfind_cluster_hedge_wins_total",
 						"Hedged shard sub-requests that finished before the primary, by shard.",
 						c.shardLabel(rs.shard)).Inc()
+					out.span.Annotate("hedge_win", "1")
 				}
 				cancelAll() // the loser, if any, stops now
 				return out.body, nil
@@ -399,11 +431,27 @@ func (c *ShardClient) send(ctx context.Context, shard int, rp *replica, method, 
 		}
 		req.Header.Set(BudgetHeader, strconv.Itoa(ms))
 	}
+	// Forward the router's request ID so access logs join across nodes,
+	// and the trace context so the shard's spans land in this query's
+	// trace instead of a fresh one.
+	if reqID, ok := ctx.Value(requestIDKey{}).(string); ok && reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
+	}
+	obs.InjectTrace(ctx, req.Header)
+	if collectEnabled(ctx) {
+		req.Header.Set(obs.CollectHeader, "1")
+	}
 
 	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		c.fail(shard, rp, err)
+		// A cancelled context is the caller's doing — the primary won a
+		// hedge race, or the query was abandoned — and says nothing about
+		// this replica's health. Counting it would eject healthy replicas
+		// on every hedge, permanently disabling hedging for the shard.
+		if !errors.Is(err, context.Canceled) {
+			c.fail(shard, rp, err)
+		}
 		return nil, err
 	}
 	defer resp.Body.Close()

@@ -1,5 +1,7 @@
 package cluster
 
+import "expertfind/internal/obs"
+
 // The internal shard wire protocol. Two round trips serve one /experts
 // query:
 //
@@ -35,6 +37,10 @@ type WirePaper struct {
 type PapersResponse struct {
 	Shard  int         `json:"shard"`
 	Papers []WirePaper `json:"papers"`
+	// Trace is the shard's completed span tree for this sub-request,
+	// present only when the router asked for collection (X-Trace-Collect)
+	// — the raw material it grafts into the assembled per-query trace.
+	Trace *obs.SpanNode `json:"trace,omitempty"`
 }
 
 // RankedPaper names one globally ranked retrieved paper in a
@@ -90,4 +96,7 @@ type ShardExpertsResponse struct {
 	// Candidates counts distinct experts over the shard's owned papers,
 	// before truncation.
 	Candidates int `json:"candidates"`
+	// Trace is the shard's completed span tree for this sub-request,
+	// present only when the router asked for collection (X-Trace-Collect).
+	Trace *obs.SpanNode `json:"trace,omitempty"`
 }

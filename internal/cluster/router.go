@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +61,15 @@ type Router struct {
 	cfg    RouterConfig
 	reg    *obs.Registry
 	Log    *obs.Logger
+	// Traces, when set, retains assembled cross-node query traces under
+	// its tail-based keep rules and serves them on /debug/traces. It also
+	// switches span collection on: sub-requests ask shards to return
+	// their span trees, which are grafted under the fan-out spans. Set
+	// before serving.
+	Traces *obs.TraceStore
+	// SlowQuery, when positive, logs one structured warn line (with
+	// trace id) for every query at least this slow. Set before serving.
+	SlowQuery time.Duration
 
 	bootOK atomic.Bool
 	ready  atomic.Bool
@@ -88,6 +98,8 @@ func NewRouter(client *ShardClient, cfg RouterConfig, reg *obs.Registry, log *ob
 	rt.mux.HandleFunc("/readyz", rt.handleReady)
 	rt.mux.HandleFunc("/metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("/debug/vars", rt.handleDebugVars)
+	rt.mux.HandleFunc("/debug/traces", rt.handleTraces)
+	rt.mux.HandleFunc("/debug/traces/", rt.handleTraces)
 	return rt
 }
 
@@ -108,27 +120,86 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Request-ID", reqID)
 	route := "other"
 	switch r.URL.Path {
-	case "/experts", "/papers", "/healthz", "/readyz", "/metrics", "/debug/vars":
+	case "/experts", "/papers", "/healthz", "/readyz", "/metrics", "/debug/vars", "/debug/traces":
 		route = r.URL.Path
+	}
+	if strings.HasPrefix(r.URL.Path, "/debug/traces/") {
+		route = "/debug/traces"
 	}
 	inflight := rt.reg.Gauge("expertfind_http_in_flight", "Requests currently being served.")
 	inflight.Add(1)
 	sw := &routerStatusWriter{ResponseWriter: w}
-	// Propagate the request ID to shard sub-requests through the context.
-	r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, reqID))
+	// Propagate the request ID to shard sub-requests through the context,
+	// and set up the trace plumbing: the registry for span recording, a
+	// capture that hands the query handler's root span back here, and —
+	// when a trace store is attached — the collect flag that makes
+	// sub-requests ask shards for their span trees.
+	ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
+	ctx = obs.WithRegistry(ctx, rt.reg)
+	var capture *obs.TraceCapture
+	if route == "/experts" || route == "/papers" {
+		ctx, capture = obs.WithTraceCapture(ctx)
+		if rt.Traces != nil {
+			ctx = withCollect(ctx)
+		}
+	}
+	r = r.WithContext(ctx)
 	rt.mux.ServeHTTP(sw, r)
 	inflight.Add(-1)
 	if sw.code == 0 {
 		sw.code = http.StatusOK
 	}
 	dur := time.Since(start)
+	durMs := float64(dur.Microseconds()) / 1000
+	traceID := rt.finishTrace(capture, r, route, sw.code, durMs)
 	rt.reg.Counter("expertfind_http_requests_total", "HTTP requests by route and status code.",
 		obs.L("route", route), obs.L("code", strconv.Itoa(sw.code))).Inc()
 	rt.reg.Histogram("expertfind_http_request_seconds", "HTTP request latency by route.",
-		nil, obs.L("route", route)).Observe(dur.Seconds())
+		nil, obs.L("route", route)).ObserveWithExemplar(dur.Seconds(), traceID)
 	rt.Log.Info("access", "req_id", reqID, "method", r.Method, "path", r.URL.Path,
 		"route", route, "status", sw.code, "bytes", sw.bytes,
-		"dur_ms", float64(dur.Microseconds())/1000)
+		"dur_ms", durMs)
+}
+
+// finishTrace offers the assembled trace to the store and emits the
+// slow-query log line. Returns the query's trace id, or "".
+func (rt *Router) finishTrace(capture *obs.TraceCapture, r *http.Request, route string,
+	status int, durMs float64) string {
+	if capture == nil {
+		return ""
+	}
+	root := capture.Root()
+	if root == nil {
+		return ""
+	}
+	traceID := root.TraceID().String()
+	if rt.Traces != nil {
+		tree := root.Tree()
+		rt.Traces.Add(obs.TraceRecord{
+			TraceID:    traceID,
+			Route:      route,
+			Query:      r.URL.Query().Get("q"),
+			Status:     status,
+			Start:      root.Start(),
+			DurationMs: durMs,
+			Root:       tree,
+		}, obs.KeepFlags{
+			Error:    status >= 500,
+			Hedged:   tree.HasAttr("hedge"),
+			Deepened: tree.HasAttr("deepened"),
+		})
+	}
+	if rt.SlowQuery > 0 && durMs >= float64(rt.SlowQuery.Milliseconds()) {
+		rt.reg.Counter("expertfind_slow_queries_total",
+			"Queries slower than the slow-query log threshold.").Inc()
+		rt.Log.Warn("slow_query", "trace_id", traceID, "route", route,
+			"q", r.URL.Query().Get("q"), "status", status, "dur_ms", durMs)
+	}
+	return traceID
+}
+
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	serve.ServeTraces(w, r, rt.Traces, rt.writeJSON)
 }
 
 type requestIDKey struct{}
@@ -212,6 +283,15 @@ type rankedPaper struct {
 	rank  int
 }
 
+// startFanout opens the per-shard fan-out span under ctx: the parent of
+// this sub-request's rpc attempts and the graft point for the shard's
+// returned span tree.
+func startFanout(ctx context.Context, shard int) (context.Context, *obs.Span) {
+	fctx, span := obs.StartSpan(ctx, "fanout")
+	span.Annotate("shard", strconv.Itoa(shard))
+	return fctx, span
+}
+
 // scatterPapers fans GET /shard/papers out to every shard and returns the
 // per-shard results. Any shard failing entirely fails the query.
 func (rt *Router) scatterPapers(ctx context.Context, q string, m int, meta bool) ([]*PapersResponse, error) {
@@ -227,7 +307,9 @@ func (rt *Router) scatterPapers(ctx context.Context, q string, m int, meta bool)
 			if meta {
 				path += "&meta=1"
 			}
-			b, err := rt.client.Get(ctx, i, path)
+			fctx, fanout := startFanout(ctx, i)
+			defer fanout.End()
+			b, err := rt.client.Get(fctx, i, path)
 			if err != nil {
 				errs[i] = err
 				return
@@ -236,6 +318,10 @@ func (rt *Router) scatterPapers(ctx context.Context, q string, m int, meta bool)
 			if err := json.Unmarshal(b, &pr); err != nil {
 				errs[i] = &shardError{shard: i, err: fmt.Errorf("bad papers payload: %w", err)}
 				return
+			}
+			fanout.End()
+			if pr.Trace != nil {
+				fanout.Graft(*pr.Trace)
 			}
 			resps[i] = &pr
 		}(i)
@@ -300,7 +386,9 @@ func (rt *Router) scatterExperts(ctx context.Context, papers []rankedPaper, t in
 				errs[i] = err
 				return
 			}
-			b, err := rt.client.Post(ctx, i, "/shard/experts", body)
+			fctx, fanout := startFanout(ctx, i)
+			defer fanout.End()
+			b, err := rt.client.Post(fctx, i, "/shard/experts", body)
 			if err != nil {
 				errs[i] = err
 				return
@@ -309,6 +397,10 @@ func (rt *Router) scatterExperts(ctx context.Context, papers []rankedPaper, t in
 			if err := json.Unmarshal(b, &er); err != nil {
 				errs[i] = &shardError{shard: i, err: fmt.Errorf("bad experts payload: %w", err)}
 				return
+			}
+			fanout.End()
+			if er.Trace != nil {
+				fanout.Graft(*er.Trace)
 			}
 			resps[i] = &er
 		}(i)
@@ -341,11 +433,15 @@ type mergeStats struct {
 // until ta.MergePartials certifies the global top-n.
 func (rt *Router) rankExperts(ctx context.Context, q string, m, n int) ([]mergedExpert, mergeStats, error) {
 	var ms mergeStats
-	r1, err := rt.scatterPapers(ctx, q, m, false)
+	sctx, sp := obs.StartSpan(ctx, "scatter_papers")
+	r1, err := rt.scatterPapers(sctx, q, m, false)
+	sp.End()
 	if err != nil {
 		return nil, ms, err
 	}
+	_, mp := obs.StartSpan(ctx, "merge_papers")
 	papers := mergePapers(r1, m)
+	mp.End()
 
 	t := rt.cfg.InitialLimit
 	if t <= 0 {
@@ -356,7 +452,13 @@ func (rt *Router) rankExperts(ctx context.Context, q string, m, n int) ([]merged
 	}
 	for {
 		ms.rounds++
-		resps, err := rt.scatterExperts(ctx, papers, t)
+		// Each deepening round is its own sibling span: the assembled
+		// trace shows how many rounds ran and what each cost.
+		ectx, es := obs.StartSpan(ctx, "scatter_experts")
+		es.Annotate("round", strconv.Itoa(ms.rounds))
+		es.Annotate("limit", strconv.Itoa(t))
+		resps, err := rt.scatterExperts(ectx, papers, t)
+		es.End()
 		if err != nil {
 			return nil, ms, err
 		}
@@ -493,7 +595,15 @@ func (rt *Router) handleExperts(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := rt.queryContext(r)
 	defer cancel()
 
-	experts, ms, err := rt.rankExperts(ctx, q, m, n)
+	// The root span of the distributed query: every fan-out, retry and
+	// hedge below shares its trace id, and the middleware capture picks
+	// it up for the trace store.
+	qctx, root := obs.StartSpan(ctx, "query")
+	experts, ms, err := rt.rankExperts(qctx, q, m, n)
+	root.End()
+	if ms.rounds > 1 {
+		root.Annotate("deepened", strconv.Itoa(ms.rounds))
+	}
 	if rt.writeRouterError(w, err) {
 		return
 	}
@@ -513,6 +623,12 @@ func (rt *Router) handleExperts(w http.ResponseWriter, r *http.Request) {
 			Papers: e.papers,
 		})
 	}
+	if r.URL.Query().Get("debug") == "1" {
+		resp.Debug = &serve.QueryDebug{
+			TraceID: root.TraceID().String(),
+			Stages:  serve.StagesFromTree(root.Tree()),
+		}
+	}
 	rt.writeJSON(w, resp)
 }
 
@@ -529,7 +645,9 @@ func (rt *Router) handlePapers(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := rt.queryContext(r)
 	defer cancel()
-	resps, err := rt.scatterPapers(ctx, q, m, true)
+	qctx, root := obs.StartSpan(ctx, "papers")
+	resps, err := rt.scatterPapers(qctx, q, m, true)
+	root.End()
 	if rt.writeRouterError(w, err) {
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"expertfind/internal/core"
+	"expertfind/internal/obs"
 	"expertfind/internal/serve"
 )
 
@@ -80,6 +81,23 @@ func writeShardError(w http.ResponseWriter, err error) bool {
 	return true
 }
 
+// collectRequested reports whether the router asked for the span tree in
+// the response envelope.
+func collectRequested(r *http.Request) bool {
+	return r.Header.Get(obs.CollectHeader) == "1"
+}
+
+// exportTree closes the shard-side root span and returns its tree for
+// the envelope when the router asked for it.
+func exportTree(span *obs.Span, r *http.Request) *obs.SpanNode {
+	span.End()
+	if !collectRequested(r) {
+		return nil
+	}
+	t := span.Tree()
+	return &t
+}
+
 func (sh *shardAPI) handlePapers(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
@@ -92,7 +110,12 @@ func (sh *shardAPI) handlePapers(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	withMeta := r.URL.Query().Get("meta") == "1"
-	ctx, cancel := budgetContext(r.Context(), r)
+	// The root span joins the router's trace through the remote context
+	// the serve middleware extracted from X-Trace-Context.
+	sctx, span := obs.StartSpan(r.Context(), "shard_papers")
+	span.Annotate("shard", strconv.Itoa(sh.se.ID()))
+	defer span.End()
+	ctx, cancel := budgetContext(sctx, r)
 	defer cancel()
 
 	res, err := sh.se.Retrieve(ctx, q, m)
@@ -107,6 +130,7 @@ func (sh *shardAPI) handlePapers(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Papers = append(resp.Papers, wp)
 	}
+	resp.Trace = exportTree(span, r)
 	sh.srv.WriteJSON(w, resp)
 }
 
@@ -122,16 +146,23 @@ func (sh *shardAPI) handleExperts(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "invalid JSON body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	ctx, cancel := budgetContext(r.Context(), r)
+	sctx, span := obs.StartSpan(r.Context(), "shard_experts")
+	span.Annotate("shard", strconv.Itoa(sh.se.ID()))
+	span.Annotate("limit", strconv.Itoa(req.Limit))
+	defer span.End()
+	ctx, cancel := budgetContext(sctx, r)
 	defer cancel()
 	if err := ctx.Err(); err != nil {
 		writeShardError(w, err)
 		return
 	}
+	_, score := obs.StartSpan(ctx, "score")
 	resp, err := sh.se.ScoreExperts(req)
+	score.End()
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	resp.Trace = exportTree(span, r)
 	sh.srv.WriteJSON(w, resp)
 }

@@ -8,6 +8,7 @@ import (
 
 	"expertfind/internal/core"
 	"expertfind/internal/hetgraph"
+	"expertfind/internal/obs"
 	"expertfind/internal/pgindex"
 	"expertfind/internal/ta"
 	"expertfind/internal/vec"
@@ -100,7 +101,11 @@ func (se *ShardEngine) Retrieve(ctx context.Context, query string, m int) ([]pgi
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, sp := obs.StartSpan(ctx, "encode")
 	qv := se.eng.EncodeQuery(query)
+	sp.End()
+	_, sp = obs.StartSpan(ctx, "search")
+	defer sp.End()
 	if se.index != nil {
 		res, _, err := se.index.SearchCtx(ctx, qv, m, se.cfg.EF)
 		return res, err

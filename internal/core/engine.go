@@ -290,7 +290,8 @@ func (e *Engine) finishQuery(root *obs.Span, st QueryStats) {
 	root.End()
 	e.reg.Counter("expertfind_queries_total", "Online queries answered.").Inc()
 	e.reg.Histogram("expertfind_query_seconds",
-		"End-to-end online query latency.", nil).Observe(st.Total().Seconds())
+		"End-to-end online query latency.", nil).
+		ObserveWithExemplar(st.Total().Seconds(), root.TraceID().String())
 }
 
 // abandonQuery closes the root span of a query that died on cancellation

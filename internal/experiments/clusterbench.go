@@ -47,6 +47,15 @@ type ClusterTopologyReport struct {
 	// DeepFetches counts queries that needed a second, deeper expert
 	// round because the first bound did not certify.
 	DeepFetches int `json:"deep_fetches"`
+
+	// Warm p50 over a replay of the query set with trace retention off
+	// versus on (span collection headers, shard tree export in the
+	// envelope, router-side assembly and ring retention) — the tracing
+	// overhead delta. Both replays run against pre-warmed routers.
+	WarmP50NoTraceMs float64 `json:"warm_p50_no_trace_ms"`
+	WarmP50TraceMs   float64 `json:"warm_p50_trace_ms"`
+	// TraceOverheadPct is (traced - untraced) / untraced * 100.
+	TraceOverheadPct float64 `json:"trace_overhead_pct"`
 }
 
 // RunClusterBench builds one engine, serves it single-node style, then
@@ -123,13 +132,40 @@ func runClusterTopology(eng *core.Engine, queries []dataset.Query, sc Scale, sha
 		wire += reg.Counter("expertfind_cluster_wire_bytes_total", "",
 			obs.L("shard", strconv.Itoa(i))).Value()
 	}
-	return ClusterTopologyReport{
+	rep := ClusterTopologyReport{
 		Shards:            shards,
 		P50Ms:             durPercentile(lat, 0.50),
 		P99Ms:             durPercentile(lat, 0.99),
 		WireBytesPerQuery: wire / float64(len(queries)),
 		DeepFetches:       int(reg.Counter("expertfind_cluster_deep_fetches_total", "").Value()),
 	}
+
+	// Trace overhead: warm p50 of the same replay with tracing off vs on.
+	// A second router over the SAME shards carries a trace store, and the
+	// two are measured interleaved query-by-query over several rounds, so
+	// machine noise drifts hit both sides equally. One untimed replay
+	// warms the traced router's connections first.
+	traced := cluster.NewRouter(client, cluster.RouterConfig{MaxM: maxInt(sc.M, 5000)}, reg, nil)
+	traced.Traces = obs.NewTraceStore(obs.TracePolicy{SampleEvery: 1}, reg)
+	taddr, stopTraced := serveOnLoopback(traced)
+	stops = append(stops, stopTraced)
+	for _, q := range queries {
+		timeExpertsQuery(taddr, q.Text, sc.M, sc.N)
+	}
+	var warmOff, warmOn []time.Duration
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			warmOff = append(warmOff, timeExpertsQuery(raddr, q.Text, sc.M, sc.N))
+			warmOn = append(warmOn, timeExpertsQuery(taddr, q.Text, sc.M, sc.N))
+		}
+	}
+	rep.WarmP50NoTraceMs = durPercentile(warmOff, 0.50)
+	rep.WarmP50TraceMs = durPercentile(warmOn, 0.50)
+	if rep.WarmP50NoTraceMs > 0 {
+		rep.TraceOverheadPct = (rep.WarmP50TraceMs - rep.WarmP50NoTraceMs) /
+			rep.WarmP50NoTraceMs * 100
+	}
+	return rep
 }
 
 // serveOnLoopback serves h on an ephemeral loopback port and returns the
@@ -174,12 +210,16 @@ func FormatClusterBench(r ClusterBenchReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Cluster benchmark — %s, %d papers, %d queries (exact retrieval everywhere)\n",
 		r.Dataset, r.Papers, r.Queries)
-	fmt.Fprintf(&b, "%-16s %10s %10s %16s %8s\n", "topology", "p50 ms", "p99 ms", "wire B/query", "deepens")
-	fmt.Fprintf(&b, "%-16s %10.3f %10.3f %16s %8s\n", "single", r.SingleP50Ms, r.SingleP99Ms, "-", "-")
+	fmt.Fprintf(&b, "%-16s %10s %10s %16s %8s %14s %12s %9s\n",
+		"topology", "p50 ms", "p99 ms", "wire B/query", "deepens",
+		"warm p50 off", "warm p50 on", "trace Δ%")
+	fmt.Fprintf(&b, "%-16s %10.3f %10.3f %16s %8s %14s %12s %9s\n",
+		"single", r.SingleP50Ms, r.SingleP99Ms, "-", "-", "-", "-", "-")
 	for _, t := range r.Topologies {
-		fmt.Fprintf(&b, "%-16s %10.3f %10.3f %16.0f %8d\n",
+		fmt.Fprintf(&b, "%-16s %10.3f %10.3f %16.0f %8d %14.3f %12.3f %+9.1f\n",
 			fmt.Sprintf("router+%d shards", t.Shards), t.P50Ms, t.P99Ms,
-			t.WireBytesPerQuery, t.DeepFetches)
+			t.WireBytesPerQuery, t.DeepFetches,
+			t.WarmP50NoTraceMs, t.WarmP50TraceMs, t.TraceOverheadPct)
 	}
 	return b.String()
 }

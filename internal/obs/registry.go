@@ -70,6 +70,20 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(upper)+1; last is +Inf
 	sum    atomicFloat
 	count  atomic.Uint64
+
+	// exemplar is the most recent traced observation, rendered
+	// OpenMetrics-style on its bucket line so dashboards can jump from a
+	// latency series to the trace that exhibited it. Nil until an
+	// observation arrives with a trace id.
+	exemplar atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram observation to the trace that produced
+// it.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	bucket  int
 }
 
 // DefBuckets spans 100µs to 10s, the useful range for both per-request
@@ -85,6 +99,27 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+}
+
+// ObserveWithExemplar records one value and, when traceID is non-empty,
+// remembers it as the histogram's exemplar (last writer wins — recency
+// is the useful property for "show me a trace like this").
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" || traceID == zeroTraceID {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v)
+	h.exemplar.Store(&Exemplar{TraceID: traceID, Value: v, bucket: i})
+}
+
+// zeroTraceID is the string form of an unset TraceID; spans created
+// outside any trace-aware context render it and must not emit exemplars.
+const zeroTraceID = "00000000000000000000000000000000"
+
+// LastExemplar returns the histogram's current exemplar, or nil.
+func (h *Histogram) LastExemplar() *Exemplar {
+	return h.exemplar.Load()
 }
 
 // Count returns the number of observations.
@@ -351,14 +386,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeSample(&b, f.name, key, "", s.g.Value())
 			case histogramKind:
 				h := s.h
+				ex := h.exemplar.Load()
 				var cum uint64
 				for i, ub := range h.upper {
 					cum += h.counts[i].Load()
-					writeSample(&b, f.name+"_bucket", key,
-						`le="`+fmtFloat(ub)+`"`, float64(cum))
+					writeSampleExemplar(&b, f.name+"_bucket", key,
+						`le="`+fmtFloat(ub)+`"`, float64(cum), exemplarFor(ex, i))
 				}
 				cum += h.counts[len(h.upper)].Load()
-				writeSample(&b, f.name+"_bucket", key, `le="+Inf"`, float64(cum))
+				writeSampleExemplar(&b, f.name+"_bucket", key, `le="+Inf"`, float64(cum),
+					exemplarFor(ex, len(h.upper)))
 				writeSample(&b, f.name+"_sum", key, "", h.Sum())
 				writeSample(&b, f.name+"_count", key, "", float64(h.Count()))
 			}
@@ -369,6 +406,19 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 func writeSample(b *strings.Builder, name, labels, extra string, v float64) {
+	writeSampleExemplar(b, name, labels, extra, v, nil)
+}
+
+// exemplarFor returns ex only when it lands in bucket i, so the exemplar
+// suffix appears on exactly one bucket line.
+func exemplarFor(ex *Exemplar, i int) *Exemplar {
+	if ex != nil && ex.bucket == i {
+		return ex
+	}
+	return nil
+}
+
+func writeSampleExemplar(b *strings.Builder, name, labels, extra string, v float64, ex *Exemplar) {
 	b.WriteString(name)
 	if labels != "" || extra != "" {
 		b.WriteByte('{')
@@ -381,6 +431,16 @@ func writeSample(b *strings.Builder, name, labels, extra string, v float64) {
 	}
 	b.WriteByte(' ')
 	b.WriteString(fmtFloat(v))
+	if ex != nil {
+		// OpenMetrics exemplar syntax (scrapers must negotiate the
+		// OpenMetrics content type to receive them in general; here they
+		// are always rendered once present, since the debug value of the
+		// trace link outweighs strict 0.0.4 conformance).
+		b.WriteString(` # {trace_id="`)
+		b.WriteString(ex.TraceID)
+		b.WriteString(`"} `)
+		b.WriteString(fmtFloat(ex.Value))
+	}
 	b.WriteByte('\n')
 }
 
@@ -391,17 +451,24 @@ type HistogramSummary struct {
 	P50   float64 `json:"p50"`
 	P90   float64 `json:"p90"`
 	P99   float64 `json:"p99"`
+	// ExemplarTraceID is the trace behind the most recent traced
+	// observation, when the histogram has one.
+	ExemplarTraceID string `json:"exemplar_trace_id,omitempty"`
 }
 
 // Summary returns the count/sum and estimated p50/p90/p99 of h.
 func (h *Histogram) Summary() HistogramSummary {
-	return HistogramSummary{
+	s := HistogramSummary{
 		Count: h.Count(),
 		Sum:   h.Sum(),
 		P50:   h.Quantile(0.50),
 		P90:   h.Quantile(0.90),
 		P99:   h.Quantile(0.99),
 	}
+	if ex := h.exemplar.Load(); ex != nil {
+		s.ExemplarTraceID = ex.TraceID
+	}
+	return s
 }
 
 // Snapshot returns every series keyed by "name{labels}": float64 for

@@ -17,10 +17,20 @@ type Span struct {
 	start time.Time
 	reg   *Registry
 
+	// Trace identity. Every span carries the trace id of the query it
+	// belongs to and its own span id; parentID is the id of the span one
+	// level up — possibly on another node, when the trace context arrived
+	// over the wire.
+	traceID  TraceID
+	id       SpanID
+	parentID SpanID
+
 	mu       sync.Mutex
 	dur      time.Duration
 	ended    bool
 	children []*Span
+	attrs    map[string]string
+	grafts   []SpanNode // remote subtrees adopted via Graft
 }
 
 type ctxKey int
@@ -28,6 +38,8 @@ type ctxKey int
 const (
 	spanKey ctxKey = iota
 	registryKey
+	remoteKey
+	captureKey
 )
 
 // WithRegistry attaches reg to ctx; spans started under it (and their
@@ -42,15 +54,31 @@ func WithRegistry(ctx context.Context, reg *Registry) context.Context {
 // clock starts immediately; call End (or EndIfOpen) exactly when the
 // phase finishes.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
-	s := &Span{name: name, start: time.Now()}
+	s := &Span{name: name, start: time.Now(), id: NewSpanID()}
 	if parent, ok := ctx.Value(spanKey).(*Span); ok && parent != nil {
 		s.name = parent.name + "/" + name
 		s.reg = parent.reg
+		s.traceID = parent.traceID
+		s.parentID = parent.id
 		parent.mu.Lock()
 		parent.children = append(parent.children, s)
 		parent.mu.Unlock()
-	} else if reg, ok := ctx.Value(registryKey).(*Registry); ok {
-		s.reg = reg
+	} else {
+		if reg, ok := ctx.Value(registryKey).(*Registry); ok {
+			s.reg = reg
+		}
+		// Root span: join a remote trace if the context carries one,
+		// else mint a fresh trace id, and offer the root to any capture
+		// installed by middleware.
+		if tc, ok := RemoteFromContext(ctx); ok {
+			s.traceID = tc.Trace
+			s.parentID = tc.Span
+		} else {
+			s.traceID = NewTraceID()
+		}
+		if c, ok := ctx.Value(captureKey).(*TraceCapture); ok {
+			c.offer(s)
+		}
 	}
 	return context.WithValue(ctx, spanKey, s), s
 }
@@ -72,13 +100,112 @@ func (s *Span) End() time.Duration {
 	if reg != nil {
 		reg.Histogram("expertfind_stage_seconds",
 			"Duration of pipeline stages, labelled by span path.",
-			nil, L("stage", s.name)).Observe(d.Seconds())
+			nil, L("stage", s.name)).ObserveWithExemplar(d.Seconds(), s.traceID.String())
 	}
 	return d
 }
 
+// TraceID returns the id of the trace the span belongs to.
+func (s *Span) TraceID() TraceID { return s.traceID }
+
+// ID returns the span's own id.
+func (s *Span) ID() SpanID { return s.id }
+
+// ParentID returns the id of the span's parent (zero for a true root).
+func (s *Span) ParentID() SpanID { return s.parentID }
+
+// Annotate attaches a key=value attribute to the span. Attributes carry
+// per-instance detail (shard, replica, hedge, round) that must NOT go
+// into the span name, which labels a bounded metric series. Safe after
+// End: attributes describe the span, not its timing.
+func (s *Span) Annotate(key, value string) {
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Attr returns the value of an attribute set by Annotate.
+func (s *Span) Attr(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.attrs[key]
+	return v, ok
+}
+
+// Graft adopts a remote subtree (a shard's exported spans) as a child of
+// s, re-parenting its root onto s so the assembled tree reads as one
+// trace. The subtree keeps its own span ids and timings.
+func (s *Span) Graft(node SpanNode) {
+	node.ParentID = s.id.String()
+	s.mu.Lock()
+	s.grafts = append(s.grafts, node)
+	s.mu.Unlock()
+}
+
+// Tree exports the span and its descendants (local children and grafted
+// remote subtrees) as a SpanNode tree. Names are shortened to the last
+// path segment — the hierarchy is structural in the tree, so repeating
+// the full "parent/child" path would be noise. Call after End for final
+// durations; an open span exports its running time.
+func (s *Span) Tree() SpanNode {
+	s.mu.Lock()
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	attrs := make(map[string]string, len(s.attrs))
+	for k, v := range s.attrs {
+		attrs[k] = v
+	}
+	if len(attrs) == 0 {
+		attrs = nil
+	}
+	children := append([]*Span(nil), s.children...)
+	grafts := append([]SpanNode(nil), s.grafts...)
+	s.mu.Unlock()
+
+	n := SpanNode{
+		Name:          shortName(s.name),
+		SpanID:        s.id.String(),
+		StartUnixNano: s.start.UnixNano(),
+		DurationNano:  int64(dur),
+		Attrs:         attrs,
+	}
+	if !s.parentID.IsZero() {
+		n.ParentID = s.parentID.String()
+	}
+	for _, c := range children {
+		n.Children = append(n.Children, c.Tree())
+	}
+	n.Children = append(n.Children, grafts...)
+	return n
+}
+
+// shortName returns the last segment of a "parent/child" span path.
+func shortName(name string) string {
+	if i := lastSlash(name); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
 // Name returns the span's full hierarchical name.
 func (s *Span) Name() string { return s.name }
+
+// Start returns the span's start time.
+func (s *Span) Start() time.Time { return s.start }
 
 // Duration returns the recorded duration, or the running time if the
 // span has not ended.

@@ -40,6 +40,12 @@ func RegisterWellKnown(r *Registry) {
 	r.Gauge("expertfind_qcache_entries", "Query-cache entries currently resident.")
 	r.declare("expertfind_stage_seconds",
 		"Duration of pipeline stages, labelled by span path.", histogramKind, nil)
+	r.declare("expertfind_traces_kept_total",
+		"Traces retained by the trace store, by keep rule.", counterKind, nil)
+	r.declare("expertfind_traces_dropped_total",
+		"Traces offered to the trace store but kept by no rule.", counterKind, nil)
+	r.declare("expertfind_slow_queries_total",
+		"Queries slower than the slow-query log threshold.", counterKind, nil)
 }
 
 // RegisterCluster pre-declares the sharded-cluster metric families — the

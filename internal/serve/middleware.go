@@ -21,6 +21,7 @@ var knownRoutes = map[string]string{
 	"/readyz":        "/readyz",
 	"/metrics":       "/metrics",
 	"/debug/vars":    "/debug/vars",
+	"/debug/traces":  "/debug/traces",
 	"/shard/papers":  "/shard/papers",
 	"/shard/experts": "/shard/experts",
 }
@@ -31,6 +32,9 @@ func routeLabel(path string) string {
 	}
 	if len(path) >= len("/debug/pprof/") && path[:len("/debug/pprof/")] == "/debug/pprof/" {
 		return "/debug/pprof"
+	}
+	if len(path) >= len("/debug/traces/") && path[:len("/debug/traces/")] == "/debug/traces/" {
+		return "/debug/traces"
 	}
 	return "other"
 }
@@ -62,7 +66,12 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // ServeHTTP implements http.Handler: the observability middleware around
 // the route mux. Each request gets a request ID (honouring an incoming
 // X-Request-ID so ids propagate across services), an access-log line, and
-// per-route metrics.
+// per-route metrics. Query routes additionally run under a trace-aware
+// context: an incoming X-Trace-Context joins the request to its
+// originating distributed trace, and the handler's root span is captured
+// here — rather than wrapped in a middleware span, which would rename
+// every stage metric series — for trace retention, exemplars and the
+// slow-query log.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	reqID := r.Header.Get("X-Request-ID")
@@ -71,6 +80,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("X-Request-ID", reqID)
 	route := routeLabel(r.URL.Path)
+	r, capture := enrichContext(r, s.reg, route)
 
 	inflight := s.reg.Gauge("expertfind_http_in_flight", "Requests currently being served.")
 	inflight.Add(1)
@@ -82,10 +92,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		sw.code = http.StatusOK
 	}
 	dur := time.Since(start)
+	durMs := float64(dur.Microseconds()) / 1000
+	traceID := s.finishTrace(capture, r, route, sw.code, durMs)
 	s.reg.Counter("expertfind_http_requests_total", "HTTP requests by route and status code.",
 		obs.L("route", route), obs.L("code", strconv.Itoa(sw.code))).Inc()
 	s.reg.Histogram("expertfind_http_request_seconds", "HTTP request latency by route.",
-		nil, obs.L("route", route)).Observe(dur.Seconds())
+		nil, obs.L("route", route)).ObserveWithExemplar(dur.Seconds(), traceID)
 	s.Log.Info("access",
 		"req_id", reqID,
 		"method", r.Method,
@@ -93,7 +105,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		"route", route,
 		"status", sw.code,
 		"bytes", sw.bytes,
-		"dur_ms", float64(dur.Microseconds())/1000,
+		"dur_ms", durMs,
 	)
 }
 

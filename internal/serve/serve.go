@@ -50,6 +50,15 @@ type Server struct {
 	MaxInFlight int
 	// RetryAfter is the Retry-After hint on shed responses (default 1s).
 	RetryAfter time.Duration
+	// Traces, when set, retains query span trees under its tail-based
+	// keep rules and serves them on /debug/traces. Nil disables trace
+	// retention (spans still time stages and propagate trace context).
+	// Set before serving.
+	Traces *obs.TraceStore
+	// SlowQuery, when positive, logs one structured warn line (with
+	// trace id) for every traced request at least this slow. Set before
+	// serving.
+	SlowQuery time.Duration
 
 	inflightQueries atomic.Int64
 	// topology is the /healthz identity block; zero value reports role
@@ -89,6 +98,8 @@ func New(engine *core.Engine) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/vars", s.handleDebugVars)
+	s.mux.HandleFunc("/debug/traces", s.handleTraces)
+	s.mux.HandleFunc("/debug/traces/", s.handleTraces)
 	return s
 }
 
@@ -217,6 +228,10 @@ type ExpertsResponse struct {
 	Candidates int            `json:"candidates"`
 	TADepth    int            `json:"ta_depth"`
 	Cached     bool           `json:"cached"`
+	// Debug carries the opt-in (?debug=1) trace id and stage breakdown;
+	// omitted otherwise, so default responses are byte-identical to
+	// pre-tracing builds.
+	Debug *QueryDebug `json:"debug,omitempty"`
 }
 
 func (s *Server) handleExperts(w http.ResponseWriter, r *http.Request) {
@@ -264,6 +279,17 @@ func (s *Server) handleExperts(w http.ResponseWriter, r *http.Request) {
 			Score:  e.Score,
 			Papers: len(g.PapersOf(e.Expert)),
 		})
+	}
+	if r.URL.Query().Get("debug") == "1" {
+		resp.Debug = &QueryDebug{
+			// Empty on a cache hit: the answer ran no spans this time.
+			TraceID: obs.TraceIDFromContext(ctx),
+			Stages: []StageTiming{
+				{Name: "encode", Ms: float64(st.EncodeTime.Microseconds()) / 1000},
+				{Name: "retrieve", Ms: float64(st.RetrieveTime.Microseconds()) / 1000},
+				{Name: "rank", Ms: float64(st.RankTime.Microseconds()) / 1000},
+			},
+		}
 	}
 	s.writeJSON(w, resp)
 }
