@@ -333,8 +333,9 @@ func (c *ShardClient) attemptContext(ctx context.Context, attemptsLeft int) (con
 // the first response wins and the loser's context is cancelled. Each
 // launched request gets its own "rpc" span — hedges appear as siblings —
 // annotated with the replica it hit; the winning hedge additionally gets
-// a hedge_win mark (attributes are safe to set after End, which only
-// freezes timing).
+// a hedge_win mark, and an attempt abandoned in flight is closed with a
+// cancelled mark before attempt returns (attributes are safe to set
+// after End, which only freezes timing).
 func (c *ShardClient) attempt(ctx context.Context, rs *replicaSet, rp *replica, method, path string, body []byte) ([]byte, error) {
 	type outcome struct {
 		body   []byte
@@ -347,6 +348,22 @@ func (c *ShardClient) attempt(ctx context.Context, rs *replicaSet, rp *replica, 
 	hctx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
 
+	// Any attempt still in flight when attempt() returns is being
+	// abandoned (hedge loser, or the whole request cancelled). Its span
+	// must be closed here, not by the losing goroutine: the caller can
+	// serialize the trace tree immediately after return, and an open span
+	// would show up with a still-running clock. EndIfOpen leaves spans
+	// that finished on their own untouched, so only genuinely interrupted
+	// attempts get the cancelled mark.
+	var launched []*obs.Span
+	defer func() {
+		for _, sp := range launched {
+			if sp.EndIfOpen() {
+				sp.Annotate("cancelled", "1")
+			}
+		}
+	}()
+
 	launch := func(target *replica, hedged bool) {
 		sctx, span := obs.StartSpan(hctx, "rpc")
 		span.Annotate("replica", target.addr)
@@ -354,6 +371,7 @@ func (c *ShardClient) attempt(ctx context.Context, rs *replicaSet, rp *replica, 
 		if hedged {
 			span.Annotate("hedge", "1")
 		}
+		launched = append(launched, span)
 		go func() {
 			b, err := c.send(sctx, rs.shard, target, method, path, body)
 			span.End()

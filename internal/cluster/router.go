@@ -189,7 +189,7 @@ func (rt *Router) finishTrace(capture *obs.TraceCapture, r *http.Request, route 
 			Deepened: tree.HasAttr("deepened"),
 		})
 	}
-	if rt.SlowQuery > 0 && durMs >= float64(rt.SlowQuery.Milliseconds()) {
+	if rt.SlowQuery > 0 && durMs >= rt.SlowQuery.Seconds()*1000 {
 		rt.reg.Counter("expertfind_slow_queries_total",
 			"Queries slower than the slow-query log threshold.").Inc()
 		rt.Log.Warn("slow_query", "trace_id", traceID, "route", route,
@@ -712,7 +712,12 @@ func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if obs.AcceptsOpenMetrics(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+		rt.reg.WriteOpenMetrics(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentTypeText)
 	rt.reg.WritePrometheus(w)
 }
 

@@ -392,6 +392,67 @@ func TestTraceHedgeVisible(t *testing.T) {
 	}
 }
 
+// TestTraceHedgeLoserSpanClosed: when a hedge race resolves, the losing
+// attempt's span must be closed — with a cancelled mark — before the
+// fan-out returns, because the caller can serialize the trace tree
+// immediately afterwards and an open span would show a still-running
+// clock there.
+func TestTraceHedgeLoserSpanClosed(t *testing.T) {
+	newReplica := func(delay time.Duration) string {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case <-time.After(delay):
+			case <-r.Context().Done():
+				return
+			}
+			w.Write([]byte("{}"))
+		}))
+		t.Cleanup(ts.Close)
+		return strings.TrimPrefix(ts.URL, "http://")
+	}
+	// Whichever replica is picked as primary, the fast one wins the race
+	// and the slow one is abandoned mid-sleep.
+	fast := newReplica(30 * time.Millisecond)
+	slow := newReplica(500 * time.Millisecond)
+
+	client, err := NewShardClient([][]string{{fast, slow}},
+		ClientConfig{HedgeAfter: 5 * time.Millisecond}, obs.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, root := obs.StartSpan(context.Background(), "query")
+	if _, err := client.Get(sctx, 0, "/shard/papers?q=x&m=1"); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	// Serialize well after the win but while the loser handler is still
+	// sleeping: an un-closed loser span would export a running clock.
+	time.Sleep(150 * time.Millisecond)
+	var rpcs []obs.SpanNode
+	walkNodes(root.Tree(), func(nd obs.SpanNode) {
+		if nd.Name == "rpc" {
+			rpcs = append(rpcs, nd)
+		}
+	})
+	if len(rpcs) != 2 {
+		t.Fatalf("%d rpc spans, want 2 (primary + hedge)", len(rpcs))
+	}
+	cancelled := 0
+	for _, nd := range rpcs {
+		if nd.Attrs["cancelled"] != "1" {
+			continue
+		}
+		cancelled++
+		if d := time.Duration(nd.DurationNano); d > 120*time.Millisecond {
+			t.Errorf("cancelled rpc span duration %v: clock not frozen at cancellation", d)
+		}
+	}
+	if cancelled != 1 {
+		t.Fatalf("%d cancelled rpc spans, want exactly 1 (the hedge loser): %+v", cancelled, rpcs)
+	}
+}
+
 // walkNodes visits a span tree pre-order.
 func walkNodes(n obs.SpanNode, f func(obs.SpanNode)) {
 	f(n)

@@ -343,10 +343,52 @@ func fmtFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// WritePrometheus renders every family in the text exposition format
-// (version 0.0.4), families and series in lexicographic order so output
-// is deterministic and diffable.
+// Content types for the two exposition formats /metrics can serve.
+const (
+	// ContentTypeText is the classic Prometheus text format. Its parser
+	// expects an optional integer timestamp after each value and errors
+	// on anything else, so output in this format must not carry
+	// exemplars.
+	ContentTypeText = "text/plain; version=0.0.4; charset=utf-8"
+	// ContentTypeOpenMetrics is the OpenMetrics 1.0 text format, the
+	// only exposition format whose parsers accept exemplars.
+	ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+// AcceptsOpenMetrics reports whether an Accept header negotiates the
+// OpenMetrics exposition format. Metrics handlers use it to decide
+// between WritePrometheus (safe for every scraper) and WriteOpenMetrics
+// (exemplars included).
+func AcceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if strings.EqualFold(mt, "application/openmetrics-text") {
+			return true
+		}
+	}
+	return false
+}
+
+// WritePrometheus renders every family in the classic text exposition
+// format (version 0.0.4), families and series in lexicographic order so
+// output is deterministic and diffable. Exemplars are never emitted:
+// the 0.0.4 parser rejects them, which would fail the whole scrape.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeExposition(w, false)
+}
+
+// WriteOpenMetrics renders every family in the OpenMetrics 1.0 text
+// format: histogram exemplars included, counter families declared under
+// their un-suffixed name, and the mandatory # EOF terminator. Serve it
+// only to scrapers that negotiated ContentTypeOpenMetrics via Accept.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	return r.writeExposition(w, true)
+}
+
+func (r *Registry) writeExposition(w io.Writer, openMetrics bool) error {
 	r.mu.RLock()
 	names := make([]string, 0, len(r.families))
 	for n := range r.families {
@@ -373,10 +415,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
 	for _, sn := range snaps {
 		f := sn.fam
-		if f.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		// OpenMetrics declares counter families under the un-suffixed
+		// name (samples keep the _total suffix); a counter whose name
+		// lacks the suffix cannot be declared as such and degrades to
+		// the unknown type.
+		famName, famKind := f.name, f.kind.String()
+		if openMetrics && f.kind == counterKind {
+			if strings.HasSuffix(famName, "_total") {
+				famName = strings.TrimSuffix(famName, "_total")
+			} else {
+				famKind = "unknown"
+			}
 		}
-		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", famName, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", famName, famKind)
 		for _, key := range sn.keys {
 			s := f.series[key]
 			switch f.kind {
@@ -386,7 +440,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeSample(&b, f.name, key, "", s.g.Value())
 			case histogramKind:
 				h := s.h
-				ex := h.exemplar.Load()
+				var ex *Exemplar
+				if openMetrics {
+					ex = h.exemplar.Load()
+				}
 				var cum uint64
 				for i, ub := range h.upper {
 					cum += h.counts[i].Load()
@@ -400,6 +457,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeSample(&b, f.name+"_count", key, "", float64(h.Count()))
 			}
 		}
+	}
+	if openMetrics {
+		b.WriteString("# EOF\n")
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -432,10 +492,8 @@ func writeSampleExemplar(b *strings.Builder, name, labels, extra string, v float
 	b.WriteByte(' ')
 	b.WriteString(fmtFloat(v))
 	if ex != nil {
-		// OpenMetrics exemplar syntax (scrapers must negotiate the
-		// OpenMetrics content type to receive them in general; here they
-		// are always rendered once present, since the debug value of the
-		// trace link outweighs strict 0.0.4 conformance).
+		// OpenMetrics exemplar syntax. Callers pass a non-nil ex only in
+		// OpenMetrics mode: the 0.0.4 parser errors on the # suffix.
 		b.WriteString(` # {trace_id="`)
 		b.WriteString(ex.TraceID)
 		b.WriteString(`"} `)

@@ -86,11 +86,26 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 // End stops the span's clock, records the duration into the registry
 // (first call only; End is idempotent), and returns the duration.
 func (s *Span) End() time.Duration {
+	d, _ := s.end()
+	return d
+}
+
+// EndIfOpen ends the span and reports whether this call did the ending —
+// false means the span had already completed on its own. Abandonment
+// paths (a hedge loser, a cancelled fan-out) use the distinction to mark
+// only genuinely interrupted work, while a span that raced to completion
+// keeps its own timing untouched.
+func (s *Span) EndIfOpen() bool {
+	_, endedNow := s.end()
+	return endedNow
+}
+
+func (s *Span) end() (time.Duration, bool) {
 	s.mu.Lock()
 	if s.ended {
 		d := s.dur
 		s.mu.Unlock()
-		return d
+		return d, false
 	}
 	s.ended = true
 	s.dur = time.Since(s.start)
@@ -102,7 +117,7 @@ func (s *Span) End() time.Duration {
 			"Duration of pipeline stages, labelled by span path.",
 			nil, L("stage", s.name)).ObserveWithExemplar(d.Seconds(), s.traceID.String())
 	}
-	return d
+	return d, true
 }
 
 // TraceID returns the id of the trace the span belongs to.

@@ -209,21 +209,35 @@ func TestTraceExemplarExposition(t *testing.T) {
 	h := reg.Histogram("expertfind_query_seconds", "q", nil)
 	h.Observe(0.002) // untraced: no exemplar
 	var b strings.Builder
-	reg.WritePrometheus(&b)
+	reg.WriteOpenMetrics(&b)
 	if strings.Contains(b.String(), "trace_id") {
 		t.Fatal("exemplar rendered without any traced observation")
 	}
 
 	id := NewTraceID().String()
 	h.ObserveWithExemplar(0.002, id)
+
+	// The classic 0.0.4 format must never carry exemplars: its parser
+	// errors on the # suffix and the whole scrape fails.
 	b.Reset()
 	reg.WritePrometheus(&b)
+	if strings.Contains(b.String(), "trace_id") {
+		t.Fatalf("0.0.4 exposition carries an exemplar:\n%s", b.String())
+	}
+
+	// The OpenMetrics format carries it, on exactly one bucket line, and
+	// terminates with # EOF.
+	b.Reset()
+	reg.WriteOpenMetrics(&b)
 	want := fmt.Sprintf(`le="0.0025"} 2 # {trace_id=%q} 0.002`, id)
 	if !strings.Contains(b.String(), want) {
 		t.Fatalf("exemplar line missing %q in:\n%s", want, b.String())
 	}
 	if strings.Count(b.String(), "trace_id") != 1 {
 		t.Fatal("exemplar rendered on more than one bucket line")
+	}
+	if !strings.HasSuffix(b.String(), "# EOF\n") {
+		t.Fatal("OpenMetrics exposition missing the # EOF terminator")
 	}
 	if reg.Histogram("expertfind_query_seconds", "q", nil).Summary().ExemplarTraceID != id {
 		t.Fatal("summary missing exemplar trace id")
@@ -234,6 +248,49 @@ func TestTraceExemplarExposition(t *testing.T) {
 	h2.ObserveWithExemplar(0.1, TraceID{}.String())
 	if h2.LastExemplar() != nil {
 		t.Fatal("zero trace id produced an exemplar")
+	}
+}
+
+// TestOpenMetricsNegotiation pins the Accept-header decision and the
+// counter-family renaming that the OpenMetrics format requires.
+func TestOpenMetricsNegotiation(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"text/plain", false},
+		{"text/plain; version=0.0.4", false},
+		{"application/openmetrics-text", true},
+		{"application/openmetrics-text; version=1.0.0; charset=utf-8", true},
+		{"text/plain, application/openmetrics-text;version=1.0.0", true},
+		{"Application/OpenMetrics-Text", true},
+		{"application/openmetrics-text-ish", false},
+	}
+	for _, c := range cases {
+		if got := AcceptsOpenMetrics(c.accept); got != c.want {
+			t.Errorf("AcceptsOpenMetrics(%q) = %v, want %v", c.accept, got, c.want)
+		}
+	}
+
+	// OpenMetrics declares a counter family under its un-suffixed name
+	// while samples keep _total; the 0.0.4 format keeps the full name in
+	// the TYPE line.
+	reg := NewRegistry()
+	reg.Counter("requests_total", "h").Inc()
+	var b strings.Builder
+	reg.WriteOpenMetrics(&b)
+	om := b.String()
+	if !strings.Contains(om, "# TYPE requests counter\n") {
+		t.Errorf("OpenMetrics TYPE line not un-suffixed:\n%s", om)
+	}
+	if !strings.Contains(om, "requests_total 1\n") {
+		t.Errorf("OpenMetrics sample lost its _total suffix:\n%s", om)
+	}
+	b.Reset()
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "# TYPE requests_total counter\n") {
+		t.Errorf("0.0.4 TYPE line altered:\n%s", b.String())
 	}
 }
 
@@ -300,6 +357,27 @@ func TestTraceStoreKeepRules(t *testing.T) {
 	}
 	if v, _ := snap["expertfind_traces_dropped_total"].(float64); v != 1 {
 		t.Fatalf("dropped = %v", v)
+	}
+}
+
+// TestTraceStoreSlowColdStart: until the ring holds SlowestN records,
+// every trace would trivially rank in the slowest N, so the slow rule
+// stays disarmed and ordinary cold-start traffic falls through to the
+// sampling rule instead of being mislabelled "slow".
+func TestTraceStoreSlowColdStart(t *testing.T) {
+	st := NewTraceStore(TracePolicy{Capacity: 16, SlowestN: 2, SampleEvery: 4}, nil)
+	if reason, kept := st.Add(mkRecord("t0", 1), KeepFlags{}); !kept || reason != KeepSampled {
+		t.Fatalf("first cold-start trace: reason=%q kept=%v, want sampled", reason, kept)
+	}
+	// Ring holds 1 < SlowestN: still disarmed, and offered=2 is off the
+	// sampling stride, so an ordinary trace is dropped, not kept "slow".
+	if reason, kept := st.Add(mkRecord("t1", 5), KeepFlags{}); kept {
+		t.Fatalf("cold-start trace kept as %q", reason)
+	}
+	// A flag-kept record brings the ring to SlowestN; the rule arms.
+	st.Add(mkRecord("h0", 1), KeepFlags{Hedged: true})
+	if reason, _ := st.Add(mkRecord("t2", 50), KeepFlags{}); reason != KeepSlow {
+		t.Fatalf("armed slow rule: reason=%q, want slow", reason)
 	}
 }
 

@@ -14,7 +14,9 @@ type TracePolicy struct {
 	// new one arrives at capacity. 0 selects 512.
 	Capacity int
 	// SlowestN keeps any trace slower than all but N of the traces
-	// currently retained — a self-adjusting latency floor. 0 selects 32;
+	// currently retained — a self-adjusting latency floor. The rule arms
+	// only once the ring holds at least SlowestN records; before that,
+	// ordinary traces fall through to the sampling rule. 0 selects 32;
 	// negative disables the rule.
 	SlowestN int
 	// SampleEvery keeps 1 in SampleEvery of the traces no other rule
@@ -167,8 +169,15 @@ func (s *TraceStore) decide(rec TraceRecord, flags KeepFlags) string {
 
 // isSlow reports whether durationMs ranks within the SlowestN slowest of
 // the currently retained records — a threshold that tracks the live
-// latency distribution instead of a fixed cutoff. Caller holds s.mu.
+// latency distribution instead of a fixed cutoff. The rule arms only
+// once the ring holds at least SlowestN records: before that every
+// trace would trivially rank in the top N, mislabelling ordinary
+// cold-start traffic as "slow" (it falls through to the sampling rule
+// instead). Caller holds s.mu.
 func (s *TraceStore) isSlow(durationMs float64) bool {
+	if len(s.ring) < s.policy.SlowestN {
+		return false
+	}
 	slower := 0
 	for i := range s.ring {
 		if s.ring[i].DurationMs > durationMs {

@@ -110,9 +110,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the registry in the Prometheus text exposition
-// format.
+// format; scrapers that negotiate OpenMetrics via Accept additionally
+// get histogram exemplars, which the classic 0.0.4 parser rejects.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if obs.AcceptsOpenMetrics(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+		s.reg.WriteOpenMetrics(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentTypeText)
 	s.reg.WritePrometheus(w)
 }
 

@@ -129,7 +129,7 @@ func (s *Server) finishTrace(capture *obs.TraceCapture, r *http.Request, route s
 			Deepened: tree.HasAttr("deepened"),
 		})
 	}
-	if s.SlowQuery > 0 && durMs >= float64(s.SlowQuery.Milliseconds()) {
+	if s.SlowQuery > 0 && durMs >= s.SlowQuery.Seconds()*1000 {
 		s.reg.Counter("expertfind_slow_queries_total",
 			"Queries slower than the slow-query log threshold.").Inc()
 		s.Log.Warn("slow_query",

@@ -126,10 +126,31 @@ func TestTraceServeLifecycle(t *testing.T) {
 		t.Errorf("cache hit debug block: %+v", cached.Debug)
 	}
 
-	// The request-latency histogram exposes the trace id as an exemplar.
-	body := get("/metrics").Body.String()
-	if !strings.Contains(body, `# {trace_id="`+traceID+`"}`) {
-		t.Error("/metrics has no exemplar carrying the trace id")
+	// The request-latency histogram exposes the trace id as an exemplar —
+	// but only to scrapers that negotiate OpenMetrics. The default 0.0.4
+	// format must stay exemplar-free: its parser errors on the # suffix,
+	// which would fail the entire scrape.
+	rec = get("/metrics")
+	if ct := rec.Header().Get("Content-Type"); ct != obs.ContentTypeText {
+		t.Errorf("/metrics content type %q, want %q", ct, obs.ContentTypeText)
+	}
+	if strings.Contains(rec.Body.String(), "# {trace_id=") {
+		t.Error("0.0.4 /metrics output carries exemplars; classic scrapers will reject the scrape")
+	}
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != obs.ContentTypeOpenMetrics {
+		t.Errorf("negotiated /metrics content type %q, want %q", ct, obs.ContentTypeOpenMetrics)
+	}
+	om := rec.Body.String()
+	if !strings.Contains(om, `# {trace_id="`+traceID+`"}`) {
+		t.Error("OpenMetrics /metrics has no exemplar carrying the trace id")
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Error("OpenMetrics /metrics output missing the # EOF terminator")
 	}
 }
 
