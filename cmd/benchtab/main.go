@@ -7,13 +7,15 @@
 //	benchtab -exp all
 //
 // Experiments: table2, table3, table4, table5, table6, fig7, fig8a,
-// fig8b, fig8c, fig8d, coresearch, query, cluster, all. The query
+// fig8b, fig8c, fig8d, coresearch, query, cluster, kernels, all. The query
 // experiment benchmarks the concurrent serving layer (cold/warm/concurrent
 // latency, QPS, cache hit rate) and writes BENCH_query.json (-bench-out).
 // The cluster experiment compares single-node serving against router+2/4
 // shards over loopback HTTP and writes BENCH_cluster.json
 // (-cluster-bench-out); it is excluded from "all" because it binds
-// listening sockets.
+// listening sockets. The kernels experiment microbenchmarks the float64,
+// float32, and int8 distance/update kernels and writes BENCH_kernels.json
+// (-kernel-bench-out).
 package main
 
 import (
@@ -28,12 +30,13 @@ import (
 )
 
 // benchOut is the -bench-out flag: where -exp query writes its JSON.
-// clusterBenchOut is the same for -exp cluster.
-var benchOut, clusterBenchOut string
+// clusterBenchOut and kernelBenchOut are the same for -exp cluster and
+// -exp kernels.
+var benchOut, clusterBenchOut, kernelBenchOut string
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1..table6, fig5, fig7, fig8a..fig8d, coresearch, sig, query, cluster, all)")
+		exp     = flag.String("exp", "all", "experiment id (table1..table6, fig5, fig7, fig8a..fig8d, coresearch, sig, query, cluster, kernels, all)")
 		papers  = flag.Int("papers", experiments.Default.Papers, "papers per dataset")
 		queries = flag.Int("queries", experiments.Default.Queries, "evaluation queries per dataset")
 		m       = flag.Int("m", experiments.Default.M, "top-m papers retrieved")
@@ -42,10 +45,12 @@ func main() {
 		seed    = flag.Int64("seed", experiments.Default.Seed, "random seed")
 		bench   = flag.String("bench-out", "BENCH_query.json", "output file for the query benchmark (-exp query)")
 		cbench  = flag.String("cluster-bench-out", "BENCH_cluster.json", "output file for the cluster benchmark (-exp cluster)")
+		kbench  = flag.String("kernel-bench-out", "BENCH_kernels.json", "output file for the kernel microbenchmarks (-exp kernels)")
 	)
 	flag.Parse()
 	benchOut = *bench
 	clusterBenchOut = *cbench
+	kernelBenchOut = *kbench
 
 	sc := experiments.Scale{
 		Papers: *papers, Queries: *queries, M: *m, N: *n, Dim: *dim, Seed: *seed,
@@ -129,6 +134,13 @@ func run(id string, sc experiments.Scale) (string, error) {
 		}
 		return experiments.FormatClusterBench(rep) +
 			fmt.Sprintf("[wrote %s]\n", clusterBenchOut), nil
+	case "kernels":
+		rep := experiments.RunKernelBench(sc)
+		if err := writeBenchJSON(kernelBenchOut, rep); err != nil {
+			return "", err
+		}
+		return experiments.FormatKernelBench(rep) +
+			fmt.Sprintf("[wrote %s]\n", kernelBenchOut), nil
 	default:
 		return "", fmt.Errorf("unknown experiment %q", id)
 	}

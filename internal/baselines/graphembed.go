@@ -31,7 +31,9 @@ func newTextFeatures(g *hetgraph.Graph, dim int, seed int64) *textFeatureEncoder
 }
 
 func (e *textFeatureEncoder) encode(text string) vec.Vector {
-	return e.enc.Encode(text)
+	// Baselines accumulate in float64 throughout; widen the float32
+	// encoder output at the boundary.
+	return e.enc.Encode(text).Float64()
 }
 
 // frozenEncoder memoises one pre-trained encoder per (graph, dim, seed) so
@@ -367,7 +369,7 @@ func (t *IDNE) encode(text string) vec.Vector {
 		}
 		idf := math.Log(1 + float64(t.n)/float64(1+t.df[w]))
 		wt := a * idf
-		out.Axpy(wt, textenc.SurfaceVector(t.dim, w, t.seed))
+		out.Axpy(wt, textenc.SurfaceVector(t.dim, w, t.seed).Float64())
 		total += wt
 	}
 	if total > 0 {

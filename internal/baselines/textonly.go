@@ -93,14 +93,14 @@ func (s *SBERT) Build(g *hetgraph.Graph) error {
 	papers := g.NodesOfType(hetgraph.Paper)
 	s.embs = make(map[hetgraph.NodeID]vec.Vector, len(papers))
 	for _, p := range papers {
-		s.embs[p] = s.enc.Encode(g.Label(p))
+		s.embs[p] = s.enc.Encode(g.Label(p)).Float64()
 	}
 	return nil
 }
 
 // QueryPapers implements Method.
 func (s *SBERT) QueryPapers(text string, m int) []hetgraph.NodeID {
-	return rankByDistance(s.embs, s.enc.Encode(text), m)
+	return rankByDistance(s.embs, s.enc.Encode(text).Float64(), m)
 }
 
 // Encoder exposes the frozen encoder; the experiment harness uses it as

@@ -59,9 +59,23 @@ type topology struct {
 func startTopology(t *testing.T, eng *core.Engine, shards int, rcfg RouterConfig, ccfg ClientConfig,
 	replicasPerShard map[int]int, faults func(shard, rep int, inner http.Handler) http.Handler) *topology {
 	t.Helper()
+	return startTopologyCfg(t, eng, shards, rcfg, ccfg, replicasPerShard, faults, nil)
+}
+
+// startTopologyCfg is startTopology with per-shard engine configuration:
+// shardCfg, when non-nil, produces the full ShardConfig for each shard
+// (PG-Index settings included) instead of the default exact scan.
+func startTopologyCfg(t *testing.T, eng *core.Engine, shards int, rcfg RouterConfig, ccfg ClientConfig,
+	replicasPerShard map[int]int, faults func(shard, rep int, inner http.Handler) http.Handler,
+	shardCfg func(id, of int) ShardConfig) *topology {
+	t.Helper()
 	addrs := make([][]string, shards)
 	for i := 0; i < shards; i++ {
-		se, err := NewShardEngine(eng, ShardConfig{ID: i, Of: shards})
+		cfg := ShardConfig{ID: i, Of: shards}
+		if shardCfg != nil {
+			cfg = shardCfg(i, shards)
+		}
+		se, err := NewShardEngine(eng, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"expertfind/internal/pgindex"
+)
+
+// This file holds the quantized-scoring half of the equivalence suite:
+// a PG-Index that scores traversal candidates against int8 codes and
+// re-ranks with exact float32 kernels must publish the SAME rankings —
+// ids, order, and float bits — as one running exact distances throughout,
+// on a single node and across sharded topologies. Together with
+// TestRouterMatchesSingleNode (exact shards vs single node) this pins the
+// full chain: quantized sharded == exact sharded == single node.
+
+// quantShardCfg returns per-shard configs with PG-Index retrieval in the
+// given scoring mode. EF is kept below the per-shard corpus size so the
+// quantized graph traversal actually runs instead of the exhaustive exact
+// fallback.
+func quantShardCfg(exactOnly bool, ef int) func(id, of int) ShardConfig {
+	return func(id, of int) ShardConfig {
+		return ShardConfig{
+			ID: id, Of: of,
+			UsePGIndex: true,
+			EF:         ef,
+			Index:      pgindex.Config{Refine: true, Seed: 11, ExactOnly: exactOnly},
+		}
+	}
+}
+
+// TestQuantizedEquivalence is the acceptance test for int8 candidate
+// scoring: for S in {1, 2, 4}, a topology whose shards search with the
+// quantized fast path must answer /experts exactly like one whose shards
+// run exact-only — same experts, same order, same Float64bits, ties
+// included. Both topologies share one deterministic engine and identical
+// index seeds, so any divergence is attributable to quantization alone.
+func TestQuantizedEquivalence(t *testing.T) {
+	ds, eng := equivEngine(t)
+	queries := ds.Queries(8, rand.New(rand.NewSource(29)))
+	const m, n = 40, 10
+
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			// ~200 papers split over S shards; EF 24 stays under every
+			// shard's corpus size so traversal is exercised, not bypassed.
+			exact := startTopologyCfg(t, eng, shards, RouterConfig{}, ClientConfig{}, nil, nil,
+				quantShardCfg(true, 24))
+			quant := startTopologyCfg(t, eng, shards, RouterConfig{}, ClientConfig{}, nil, nil,
+				quantShardCfg(false, 24))
+			for _, q := range queries {
+				want := queryExperts(t, exact.routerURL, q.Text, m, n)
+				got := queryExperts(t, quant.routerURL, q.Text, m, n)
+				if len(got.Experts) != len(want.Experts) {
+					t.Fatalf("query %q: quantized returned %d experts, exact %d",
+						q.Text, len(got.Experts), len(want.Experts))
+				}
+				for i, e := range got.Experts {
+					w := want.Experts[i]
+					if e.ID != w.ID {
+						t.Fatalf("query %q rank %d: quantized expert %d, exact %d",
+							q.Text, i+1, e.ID, w.ID)
+					}
+					if math.Float64bits(e.Score) != math.Float64bits(w.Score) {
+						t.Fatalf("query %q rank %d (expert %d): quantized score %x, exact %x",
+							q.Text, i+1, e.ID, math.Float64bits(e.Score), math.Float64bits(w.Score))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQuantizedShardRetrieve pins the per-shard retrieval lists
+// themselves, below the router merge: each shard's top-m under quantized
+// scoring must match its exact-only twin entry for entry, distances
+// compared as float bits.
+func TestQuantizedShardRetrieve(t *testing.T) {
+	ds, eng := equivEngine(t)
+	queries := ds.Queries(6, rand.New(rand.NewSource(31)))
+	const m, of = 25, 2
+
+	for id := 0; id < of; id++ {
+		exact, err := NewShardEngine(eng, quantShardCfg(true, 24)(id, of))
+		if err != nil {
+			t.Fatal(err)
+		}
+		quant, err := NewShardEngine(eng, quantShardCfg(false, 24)(id, of))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			want, err := exact.Retrieve(context.Background(), q.Text, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := quant.Retrieve(context.Background(), q.Text, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("shard %d query %q: quantized %d results, exact %d",
+					id, q.Text, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID ||
+					math.Float64bits(got[i].Dist) != math.Float64bits(want[i].Dist) {
+					t.Fatalf("shard %d query %q rank %d: quantized (%d, %x), exact (%d, %x)",
+						id, q.Text, i+1, got[i].ID, math.Float64bits(got[i].Dist),
+						want[i].ID, math.Float64bits(want[i].Dist))
+				}
+			}
+		}
+	}
+}

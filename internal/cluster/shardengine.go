@@ -42,7 +42,7 @@ type ShardEngine struct {
 	eng   *core.Engine
 	cfg   ShardConfig
 	owned map[hetgraph.NodeID]bool
-	embs  map[hetgraph.NodeID]vec.Vector
+	embs  map[hetgraph.NodeID]vec.Vec32
 	index *pgindex.Index
 }
 
@@ -57,7 +57,7 @@ func NewShardEngine(eng *core.Engine, cfg ShardConfig) (*ShardEngine, error) {
 		eng:   eng,
 		cfg:   cfg,
 		owned: map[hetgraph.NodeID]bool{},
-		embs:  map[hetgraph.NodeID]vec.Vector{},
+		embs:  map[hetgraph.NodeID]vec.Vec32{},
 	}
 	for _, p := range eng.Graph().NodesOfType(hetgraph.Paper) {
 		if AssignShard(p, cfg.Of) != cfg.ID {

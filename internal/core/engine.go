@@ -139,7 +139,7 @@ type Engine struct {
 	cache train.TokenCache
 	// Embeddings is E, the representation of every paper. Treat as
 	// read-only outside the engine; AddPaper mutates it under mu.
-	Embeddings map[hetgraph.NodeID]vec.Vector
+	Embeddings map[hetgraph.NodeID]vec.Vec32
 	index      *pgindex.Index
 	stats      BuildStats
 	reg        *obs.Registry
@@ -440,4 +440,4 @@ func (e *Engine) SimilarPapersCtx(ctx context.Context, id hetgraph.NodeID, m int
 
 // EncodeQuery exposes the query representation v_T, which the experiment
 // harness reuses for the ADS metric.
-func (e *Engine) EncodeQuery(query string) vec.Vector { return e.enc.Encode(query) }
+func (e *Engine) EncodeQuery(query string) vec.Vec32 { return e.enc.Encode(query) }

@@ -159,8 +159,11 @@ func (e *Engine) SaveSnapshot(w io.Writer) (lastSeq uint64, err error) {
 		UsePGIndex:          boolOpt(e.opts.UsePGIndex, true),
 		UseTA:               boolOpt(e.opts.UseTA, true),
 		IndexConfig:         e.opts.Index,
-		EmbData:             enc.Emb.Data,
-		NumDocs:             vocab.NumDocs(),
+		// The table is float32 in memory; persisting float64 keeps the
+		// snapshot format stable and round-trips exactly (every float32
+		// is representable as a float64).
+		EmbData: enc.Emb.Float64(),
+		NumDocs: vocab.NumDocs(),
 	}
 	for _, mp := range e.opts.MetaPaths {
 		p.Engine.MetaPaths = append(p.Engine.MetaPaths, mp.String())
@@ -327,7 +330,7 @@ func (e *Engine) SaveEmbeddings(w io.Writer) error {
 	}
 	pairs := make([]pair, 0, len(e.Embeddings))
 	for _, p := range e.g.NodesOfType(hetgraph.Paper) {
-		pairs = append(pairs, pair{ID: p, Vec: e.Embeddings[p]})
+		pairs = append(pairs, pair{ID: p, Vec: e.Embeddings[p].Float64()})
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(pairs); err != nil {

@@ -128,7 +128,7 @@ func Evaluate(sys System, g *hetgraph.Graph, queries []dataset.Query, m, n int,
 		eff.P20 += metrics.PrecisionAtN(ids, q.Truth, 20)
 		aps = append(aps, metrics.AveragePrecision(ids, q.Truth))
 		if ref != nil {
-			eff.ADS += metrics.ADS(g, ids, ref.Embs, ref.Enc.Encode(q.Text))
+			eff.ADS += metrics.ADS(g, ids, ref.Embs, ref.Enc.Encode(q.Text).Float64())
 		}
 	}
 	nq := float64(len(queries))

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"expertfind/internal/vec"
+)
+
+// KernelBenchRow is one measured kernel at one dimension.
+type KernelBenchRow struct {
+	Kernel  string  `json:"kernel"`
+	Dim     int     `json:"dim"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// GBPerS is effective memory bandwidth: bytes touched per call over
+	// the measured time. It is the honest cross-precision comparison —
+	// float64, float32, and int8 kernels move 8, 4, and 1 byte per lane.
+	GBPerS float64 `json:"gb_per_s"`
+	// SpeedupVsF64 compares against the float64 dot at the same dim, for
+	// the kernels where that baseline is meaningful.
+	SpeedupVsF64 float64 `json:"speedup_vs_float64,omitempty"`
+}
+
+// KernelBenchReport is the payload of BENCH_kernels.json: the kernel-layer
+// microbenchmark that tracks the vectorized float32 and int8 paths across
+// PRs, independent of the end-to-end serving numbers.
+type KernelBenchReport struct {
+	Dims []int            `json:"dims"`
+	Rows []KernelBenchRow `json:"rows"`
+}
+
+// benchNs returns the best-of-3 mean ns per call of f, auto-calibrating
+// the iteration count so each timed window is long enough to trust.
+func benchNs(f func()) float64 {
+	for i := 0; i < 64; i++ {
+		f() // warm caches and branch predictors
+	}
+	iters := 64
+	for {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		if el := time.Since(t0); el >= 10*time.Millisecond {
+			best := float64(el.Nanoseconds()) / float64(iters)
+			for r := 0; r < 2; r++ {
+				t0 = time.Now()
+				for i := 0; i < iters; i++ {
+					f()
+				}
+				if ns := float64(time.Since(t0).Nanoseconds()) / float64(iters); ns < best {
+					best = ns
+				}
+			}
+			return best
+		}
+		iters *= 4
+	}
+}
+
+// Sinks defeat dead-code elimination of the benchmarked calls.
+var (
+	sinkF32 float32
+	sinkF64 float64
+	sinkI32 int32
+)
+
+// RunKernelBench measures the distance/update kernels the query path is
+// built from, at the dimensions the experiments use. Inputs are
+// deterministic, so two runs on one machine are comparable.
+func RunKernelBench(sc Scale) KernelBenchReport {
+	dims := []int{64, 128, 256}
+	rep := KernelBenchReport{Dims: dims}
+	rng := rand.New(rand.NewSource(sc.Seed))
+
+	for _, d := range dims {
+		a64, b64 := vec.New(d), vec.New(d)
+		a32, b32 := vec.New32(d), vec.New32(d)
+		dst32 := vec.New32(d)
+		for i := 0; i < d; i++ {
+			a64[i] = rng.NormFloat64()
+			b64[i] = rng.NormFloat64()
+			a32[i] = float32(a64[i])
+			b32[i] = float32(b64[i])
+		}
+		ca, cb := make([]int8, d), make([]int8, d)
+		vec.QuantizeRow(ca, a32)
+		vec.QuantizeRow(cb, b32)
+
+		f64Bytes := float64(2 * d * 8)
+		f32Bytes := float64(2 * d * 4)
+		i8Bytes := float64(2 * d * 1)
+
+		add := func(name string, bytes float64, f func()) float64 {
+			ns := benchNs(f)
+			rep.Rows = append(rep.Rows, KernelBenchRow{
+				Kernel: name, Dim: d, NsPerOp: ns, GBPerS: bytes / ns,
+			})
+			return ns
+		}
+		markSpeedup := func(base float64) {
+			r := &rep.Rows[len(rep.Rows)-1]
+			if r.NsPerOp > 0 {
+				r.SpeedupVsF64 = base / r.NsPerOp
+			}
+		}
+
+		base := add("dot_float64", f64Bytes, func() { sinkF64 = a64.Dot(b64) })
+		add("dot_float32", f32Bytes, func() { sinkF32 = vec.Dot32(a32, b32) })
+		markSpeedup(base)
+		add("dot_int8", i8Bytes, func() { sinkI32 = vec.DotInt8(ca, cb) })
+		markSpeedup(base)
+		add("l2sq_float32", f32Bytes, func() { sinkF32 = vec.L2Sq32(a32, b32) })
+		markSpeedup(base)
+		add("cosine_float32", f32Bytes, func() { sinkF32 = vec.Cosine32(a32, b32) })
+		// Axpy touches dst twice (read+write) plus x once.
+		add("axpy_float32", float64(3*d*4), func() { vec.Axpy32(dst32, 0.5, a32) })
+		add("quantize_row", float64(d*4+d), func() { vec.QuantizeRow(ca, a32) })
+	}
+	return rep
+}
+
+// FormatKernelBench renders the report as a human-readable table.
+func FormatKernelBench(r KernelBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel microbenchmarks — dims %v\n", r.Dims)
+	fmt.Fprintf(&b, "%-16s %6s %12s %10s %12s\n", "kernel", "dim", "ns/op", "GB/s", "vs float64")
+	for _, row := range r.Rows {
+		speed := "-"
+		if row.SpeedupVsF64 > 0 {
+			speed = fmt.Sprintf("%.2fx", row.SpeedupVsF64)
+		}
+		fmt.Fprintf(&b, "%-16s %6d %12.1f %10.1f %12s\n",
+			row.Kernel, row.Dim, row.NsPerOp, row.GBPerS, speed)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the report as indented JSON (the BENCH_kernels.json
+// format).
+func (r KernelBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -76,7 +76,7 @@ func RunFig5(sc Scale) []Fig5Row {
 	vocab := textenc.BuildVocab(ds.Corpus(), textenc.VocabConfig{})
 	enc := textenc.NewEncoder(vocab, sc.Dim, sc.Seed)
 	textenc.PretrainDistributional(enc, ds.Corpus())
-	embs := make(map[hetgraph.NodeID]vec.Vector, g.NumNodesOfType(hetgraph.Paper))
+	embs := make(map[hetgraph.NodeID]vec.Vec32, g.NumNodesOfType(hetgraph.Paper))
 	for _, p := range g.NodesOfType(hetgraph.Paper) {
 		embs[p] = enc.Encode(g.Label(p))
 	}

@@ -306,7 +306,7 @@ func FormatTable6(rows []Table6Row) string {
 
 func buildTable6Row(name string, g *hetgraph.Graph, enc *textenc.Encoder, sc Scale) Table6Row {
 	papers := g.NodesOfType(hetgraph.Paper)
-	embs := make(map[hetgraph.NodeID]vec.Vector, len(papers))
+	embs := make(map[hetgraph.NodeID]vec.Vec32, len(papers))
 	for _, p := range papers {
 		embs[p] = enc.Encode(g.Label(p))
 	}

@@ -1,12 +1,13 @@
 package pgindex
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
+	"sync"
 
 	"expertfind/internal/hetgraph"
 	"expertfind/internal/vec"
@@ -26,6 +27,13 @@ type Config struct {
 	Refine bool
 	// Seed drives NNDescent's random initialisation.
 	Seed int64
+	// ExactOnly disables the int8-quantized candidate-scoring fast path,
+	// making graph traversal use exact float32 distances throughout. The
+	// default (false) scores traversal candidates against quantized codes
+	// and re-ranks the full candidate pool with exact kernels before
+	// returning, so published rankings are identical either way — the
+	// equivalence suite in internal/cluster asserts this bit for bit.
+	ExactOnly bool
 }
 
 func (c Config) withDefaults() Config {
@@ -48,11 +56,20 @@ func DefaultConfig() Config { return Config{Refine: true}.withDefaults() }
 // Index is the proximity-graph document index. Nodes are papers; each
 // keeps a short refined out-neighbour list; search enters at the
 // navigating node (the paper closest to the corpus centroid).
+//
+// Embeddings live in one flat row-major float32 matrix — a full-pool
+// re-rank or exhaustive scan walks memory linearly — with an optional
+// int8-quantized shadow copy (quant) used only to score candidates during
+// graph traversal.
 type Index struct {
 	ids  []hetgraph.NodeID // dense index -> paper id
-	embs []vec.Vector      // dense index -> representation
-	nbrs [][]int32         // refined out-neighbours per dense index
-	nav  int32             // navigating node (dense index)
+	embs *vec.Matrix32     // dense index -> representation (row i)
+	// quant holds the int8 codes of embs for traversal scoring; nil when
+	// the index was built with Config.ExactOnly.
+	quant     *vec.Quantized
+	exactOnly bool
+	nbrs      [][]int32 // refined out-neighbours per dense index
+	nav       int32     // navigating node (dense index)
 	// entries are additional stratified search entry points. Fine-tuned
 	// corpora form tight, mutually near-equidistant clusters; a single
 	// entry leaves greedy search stranded on that plateau, so the search
@@ -74,7 +91,7 @@ type Result struct {
 // (Algorithm 2): navigating-node selection, kNN-graph initialisation via
 // NNDescent, long-distance neighbour extension, and redundant-neighbour
 // removal. Construction is deterministic for a given cfg.Seed.
-func Build(embs map[hetgraph.NodeID]vec.Vector, cfg Config) *Index {
+func Build(embs map[hetgraph.NodeID]vec.Vec32, cfg Config) *Index {
 	return BuildWithRand(embs, cfg, rand.New(rand.NewSource(cfg.Seed)))
 }
 
@@ -83,30 +100,40 @@ func Build(embs map[hetgraph.NodeID]vec.Vector, cfg Config) *Index {
 // it draws exclusively from rng — never the global math/rand source — so
 // two builds over equal embeddings with identically seeded rngs produce
 // identical indexes. Cluster shards rely on this to rebuild bit-identical
-// per-shard indexes independently on every replica.
-func BuildWithRand(embs map[hetgraph.NodeID]vec.Vector, cfg Config, rng *rand.Rand) *Index {
+// per-shard indexes independently on every replica. Construction always
+// uses exact float32 distances — quantization affects search only, so the
+// graph is identical with and without ExactOnly.
+func BuildWithRand(embs map[hetgraph.NodeID]vec.Vec32, cfg Config, rng *rand.Rand) *Index {
 	cfg = cfg.withDefaults()
-	idx := &Index{pos: make(map[hetgraph.NodeID]int32, len(embs))}
+	idx := &Index{pos: make(map[hetgraph.NodeID]int32, len(embs)), exactOnly: cfg.ExactOnly}
 	idx.ids = make([]hetgraph.NodeID, 0, len(embs))
 	for id := range embs {
 		idx.ids = append(idx.ids, id)
 	}
 	sort.Slice(idx.ids, func(i, j int) bool { return idx.ids[i] < idx.ids[j] })
-	idx.embs = make([]vec.Vector, len(idx.ids))
-	for i, id := range idx.ids {
-		idx.embs[i] = embs[id]
-		idx.pos[id] = int32(i)
-	}
 	if len(idx.ids) == 0 {
 		return idx
+	}
+	dim := embs[idx.ids[0]].Dim()
+	idx.embs = vec.NewMatrix32(len(idx.ids), dim)
+	for i, id := range idx.ids {
+		copy(idx.embs.Row(i), embs[id])
+		idx.pos[id] = int32(i)
+	}
+	if !cfg.ExactOnly {
+		idx.quant = vec.Quantize(idx.embs)
 	}
 
 	// (1) Navigating node: the paper whose representation is closest to
 	// the centroid g of all papers.
-	centroid := vec.Mean(idx.embs)
-	best, bestD := 0, idx.embs[0].L2Sq(centroid)
-	for i := 1; i < len(idx.embs); i++ {
-		if d := idx.embs[i].L2Sq(centroid); d < bestD {
+	rows := make([]vec.Vec32, idx.embs.Rows)
+	for i := range rows {
+		rows[i] = idx.embs.Row(i)
+	}
+	centroid := vec.Mean32(rows)
+	best, bestD := 0, vec.L2Sq32(idx.embs.Row(0), centroid)
+	for i := 1; i < idx.embs.Rows; i++ {
+		if d := vec.L2Sq32(idx.embs.Row(i), centroid); d < bestD {
 			best, bestD = i, d
 		}
 	}
@@ -146,6 +173,11 @@ func BuildWithRand(embs map[hetgraph.NodeID]vec.Vector, cfg Config, rng *rand.Ra
 	idx.ensureReachable()
 	idx.pickEntries()
 	return idx
+}
+
+// l2sqDense returns the exact squared distance between dense rows a and b.
+func (idx *Index) l2sqDense(a, b int32) float32 {
+	return vec.L2Sq32(idx.embs.Row(int(a)), idx.embs.Row(int(b)))
 }
 
 // pickEntries selects up to 32 stratified extra entry points (every
@@ -194,9 +226,9 @@ func (idx *Index) ensureReachable() {
 			continue
 		}
 		// Nearest currently reachable node to u.
-		best, bestD := reachable[0], idx.embs[u].L2Sq(idx.embs[reachable[0]])
+		best, bestD := reachable[0], idx.l2sqDense(u, reachable[0])
 		for _, v := range reachable[1:] {
-			if d := idx.embs[u].L2Sq(idx.embs[v]); d < bestD {
+			if d := idx.l2sqDense(u, v); d < bestD {
 				best, bestD = v, d
 			}
 		}
@@ -213,11 +245,11 @@ func (idx *Index) ensureReachable() {
 func (idx *Index) refineNeighbors(p int32, cands map[int32]bool, maxDegree int) []int32 {
 	type cd struct {
 		id   int32
-		dist float64
+		dist float32
 	}
 	list := make([]cd, 0, len(cands))
 	for c := range cands {
-		list = append(list, cd{c, idx.embs[p].L2Sq(idx.embs[c])})
+		list = append(list, cd{c, idx.l2sqDense(p, c)})
 	}
 	sort.Slice(list, func(i, j int) bool {
 		if list[i].dist != list[j].dist {
@@ -232,7 +264,7 @@ func (idx *Index) refineNeighbors(p int32, cands map[int32]bool, maxDegree int) 
 		}
 		redundant := false
 		for _, x := range kept {
-			if idx.embs[x].L2Sq(idx.embs[c.id]) <= c.dist {
+			if idx.l2sqDense(x, c.id) <= c.dist {
 				redundant = true
 				break
 			}
@@ -255,15 +287,16 @@ type SearchStats struct {
 // Search returns the m papers most similar to the query representation,
 // using greedy best-first expansion from the navigating node (§IV-B) with
 // a candidate pool of size max(m, ef), seeded with the stratified entry
-// points. ef=0 uses 2m. Results are sorted ascending by distance.
-func (idx *Index) Search(query vec.Vector, m, ef int) ([]Result, SearchStats) {
+// points. ef=0 uses 2m. Results are sorted ascending by distance, ties by
+// paper id — the same canonical order as BruteForce.
+func (idx *Index) Search(query vec.Vec32, m, ef int) ([]Result, SearchStats) {
 	return idx.SearchEx(query, m, ef, true)
 }
 
 // SearchCtx is Search with cooperative cancellation: the greedy expansion
 // loop checks ctx every cancelCheckEvery expansions and returns ctx.Err()
 // with the partial stats when the deadline passed or the caller went away.
-func (idx *Index) SearchCtx(ctx context.Context, query vec.Vector, m, ef int) ([]Result, SearchStats, error) {
+func (idx *Index) SearchCtx(ctx context.Context, query vec.Vec32, m, ef int) ([]Result, SearchStats, error) {
 	return idx.searchCtx(ctx, query, m, ef, true)
 }
 
@@ -273,7 +306,7 @@ func (idx *Index) SearchCtx(ctx context.Context, query vec.Vector, m, ef int) ([
 // Algorithm 2 refinement); multiEntry=true additionally seeds the
 // stratified entries, which rescue greedy search on tightly clustered
 // fine-tuned corpora (see DESIGN.md).
-func (idx *Index) SearchEx(query vec.Vector, m, ef int, multiEntry bool) ([]Result, SearchStats) {
+func (idx *Index) SearchEx(query vec.Vec32, m, ef int, multiEntry bool) ([]Result, SearchStats) {
 	res, st, _ := idx.searchCtx(context.Background(), query, m, ef, multiEntry)
 	return res, st
 }
@@ -283,7 +316,53 @@ func (idx *Index) SearchEx(query vec.Vector, m, ef int, multiEntry bool) ([]Resu
 // an expansion performs.
 const cancelCheckEvery = 32
 
-func (idx *Index) searchCtx(ctx context.Context, query vec.Vector, m, ef int, multiEntry bool) ([]Result, SearchStats, error) {
+// minEF floors the search pool regardless of the requested ef (see
+// searchCtx).
+const minEF = 8
+
+// distEntry pairs a dense node index with its (squared) distance to the
+// current query.
+type distEntry struct {
+	id   int32
+	dist float32
+}
+
+// searchScratch is the per-search working memory, recycled through a
+// package-level pool so steady-state queries allocate only their result
+// slice. visited is an epoch-stamped array: marking a node is one store,
+// clearing all marks is one epoch increment.
+type searchScratch struct {
+	visited []uint32
+	epoch   uint32
+	cand    []distEntry // min-heap of unexpanded candidates
+	pool    []distEntry // max-heap of current best ef results
+	qcodes  []int8
+}
+
+var scratchPool = sync.Pool{New: func() interface{} { return &searchScratch{} }}
+
+func getScratch(n, dim int) *searchScratch {
+	s := scratchPool.Get().(*searchScratch)
+	if len(s.visited) < n {
+		s.visited = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale stamps could alias the new epoch
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 1
+	}
+	if cap(s.qcodes) < dim {
+		s.qcodes = make([]int8, dim)
+	}
+	s.cand = s.cand[:0]
+	s.pool = s.pool[:0]
+	return s
+}
+
+func (idx *Index) searchCtx(ctx context.Context, query vec.Vec32, m, ef int, multiEntry bool) ([]Result, SearchStats, error) {
 	var st SearchStats
 	n := len(idx.ids)
 	if n == 0 || m <= 0 {
@@ -298,34 +377,63 @@ func (idx *Index) searchCtx(ctx context.Context, query vec.Vector, m, ef int, mu
 			ef = m
 		}
 	}
+	// Floor the pool size: quantized candidate scores have a resolution of
+	// ~1/127 of the row scale, so a one- or two-slot pool rejects near-ties
+	// the exact re-rank would have promoted. A small floor costs a handful
+	// of distance computations and applies to both modes symmetrically.
+	if ef < minEF {
+		ef = minEF
+	}
 
-	visited := make(map[int32]bool, ef*4)
-	cand := &distHeap{} // min-heap: closest first, to expand
-	pool := &maxHeap{}  // max-heap of current best ef results
-	heap.Init(cand)
-	heap.Init(pool)
+	// Exhaustive fast path: when the pool would admit every live paper
+	// anyway, graph traversal is pure overhead — scan the flat matrix with
+	// the exact kernels instead. Both quantized and exact-only indexes take
+	// this path, and it performs the same distance computations as
+	// BruteForce, so results agree bit for bit across all of them.
+	if ef >= idx.Len() {
+		return idx.searchExhaustive(ctx, query, m, &st)
+	}
+
+	s := getScratch(n, idx.embs.Cols)
+	defer scratchPool.Put(s)
+
+	// Traversal distances: quantized codes when available, exact float32
+	// kernels otherwise. Quantized distances steer the walk and the pool
+	// only — the final ranking below is always exact.
+	useQuant := idx.quant != nil
+	var qCodes []int8
+	var qScale, qSqNorm float32
+	if useQuant {
+		qCodes = s.qcodes[:idx.embs.Cols]
+		qScale, qSqNorm = vec.QuantizeRow(qCodes, query)
+	}
 
 	push := func(i int32) {
-		if visited[i] {
+		if s.visited[i] == s.epoch {
 			return
 		}
-		visited[i] = true
-		d := idx.embs[i].L2Sq(query)
+		s.visited[i] = s.epoch
+		var d float32
+		if useQuant {
+			d = idx.quant.ApproxL2Sq(int(i), qCodes, qScale, qSqNorm)
+		} else {
+			d = vec.L2Sq32(idx.embs.Row(int(i)), query)
+		}
 		st.DistanceComputations++
 		st.NodesVisited++
 		if idx.isDead(i) {
 			// Tombstoned papers keep routing traffic but never enter the
 			// result pool.
-			heap.Push(cand, distEntry{i, d})
+			heapPushMin(&s.cand, distEntry{i, d})
 			return
 		}
-		if pool.Len() < ef {
-			heap.Push(cand, distEntry{i, d})
-			heap.Push(pool, distEntry{i, d})
-		} else if d < (*pool)[0].dist {
-			heap.Push(cand, distEntry{i, d})
-			heap.Pop(pool)
-			heap.Push(pool, distEntry{i, d})
+		if len(s.pool) < ef {
+			heapPushMin(&s.cand, distEntry{i, d})
+			heapPushMax(&s.pool, distEntry{i, d})
+		} else if d < s.pool[0].dist {
+			heapPushMin(&s.cand, distEntry{i, d})
+			heapPopMax(&s.pool)
+			heapPushMax(&s.pool, distEntry{i, d})
 		}
 	}
 	push(idx.nav)
@@ -334,9 +442,9 @@ func (idx *Index) searchCtx(ctx context.Context, query vec.Vector, m, ef int, mu
 			push(e)
 		}
 	}
-	for cand.Len() > 0 {
-		cur := heap.Pop(cand).(distEntry)
-		if pool.Len() >= ef && cur.dist > (*pool)[0].dist {
+	for len(s.cand) > 0 {
+		cur := heapPopMin(&s.cand)
+		if len(s.pool) >= ef && cur.dist > s.pool[0].dist {
 			break // the nearest unexpanded candidate cannot improve the pool
 		}
 		if st.Expansions%cancelCheckEvery == 0 {
@@ -351,35 +459,104 @@ func (idx *Index) searchCtx(ctx context.Context, query vec.Vector, m, ef int, mu
 		}
 	}
 
-	res := make([]Result, pool.Len())
-	for i := len(res) - 1; i >= 0; i-- {
-		e := heap.Pop(pool).(distEntry)
-		res[i] = Result{ID: idx.ids[e.id], Dist: sqrt(e.dist)}
+	// Exact re-rank of the ENTIRE pool (not just the top-m): quantized
+	// distances decide who made the pool, exact float32 kernels decide the
+	// published order. Ties break by paper id, matching BruteForce.
+	final := s.pool
+	if useQuant {
+		for i := range final {
+			final[i].dist = vec.L2Sq32(idx.embs.Row(int(final[i].id)), query)
+			st.DistanceComputations++
+		}
 	}
-	if len(res) > m {
-		res = res[:m]
+	idx.sortCanonical(final)
+	if len(final) > m {
+		final = final[:m]
+	}
+	res := make([]Result, len(final))
+	for i, e := range final {
+		res[i] = Result{ID: idx.ids[e.id], Dist: sqrt(float64(e.dist))}
 	}
 	st.record()
 	return res, st, nil
 }
 
+// searchExhaustive scans every live row of the flat embedding matrix with
+// exact kernels and returns the canonical top-m.
+func (idx *Index) searchExhaustive(ctx context.Context, query vec.Vec32, m int, st *SearchStats) ([]Result, SearchStats, error) {
+	n := len(idx.ids)
+	all := make([]distEntry, 0, idx.Len())
+	for i := 0; i < n; i++ {
+		if i%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				st.record()
+				return nil, *st, err
+			}
+		}
+		if idx.isDead(int32(i)) {
+			continue
+		}
+		all = append(all, distEntry{int32(i), vec.L2Sq32(idx.embs.Row(i), query)})
+	}
+	st.DistanceComputations += len(all)
+	st.NodesVisited += len(all)
+	idx.sortCanonical(all)
+	if len(all) > m {
+		all = all[:m]
+	}
+	res := make([]Result, len(all))
+	for i, e := range all {
+		res[i] = Result{ID: idx.ids[e.id], Dist: sqrt(float64(e.dist))}
+	}
+	st.record()
+	return res, *st, nil
+}
+
 // BruteForce scans every embedding and returns the exact m nearest papers
 // to the query, sorted ascending by distance — the "w/o PG-Index" variant.
-func BruteForce(embs map[hetgraph.NodeID]vec.Vector, query vec.Vector, m int) []Result {
+func BruteForce(embs map[hetgraph.NodeID]vec.Vec32, query vec.Vec32, m int) []Result {
 	all := make([]Result, 0, len(embs))
 	for id, e := range embs {
 		all = append(all, Result{ID: id, Dist: query.L2(e)})
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Dist != all[j].Dist {
-			return all[i].Dist < all[j].Dist
+	slices.SortFunc(all, func(a, b Result) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
 		}
-		return all[i].ID < all[j].ID
+		return 0
 	})
 	if len(all) > m {
 		all = all[:m]
 	}
 	return all
+}
+
+// sortCanonical orders distance entries by the package's canonical total
+// order — distance ascending, NodeID ascending — via slices.SortFunc,
+// which monomorphises the comparator instead of boxing it the way
+// sort.Slice does; the sort dominates the exhaustive search path.
+func (idx *Index) sortCanonical(es []distEntry) {
+	ids := idx.ids
+	slices.SortFunc(es, func(a, b distEntry) int {
+		switch {
+		case a.dist < b.dist:
+			return -1
+		case a.dist > b.dist:
+			return 1
+		case ids[a.id] < ids[b.id]:
+			return -1
+		case ids[a.id] > ids[b.id]:
+			return 1
+		}
+		return 0
+	})
 }
 
 // Len returns the number of live (searchable) papers.
@@ -412,12 +589,16 @@ func (idx *Index) NumEdges() int {
 	return n
 }
 
-// MemoryBytes estimates the index's resident size: embeddings plus
-// adjacency plus the id maps (Table VI's memory column).
+// MemoryBytes estimates the index's resident size: float32 embeddings,
+// int8 codes when quantization is on, adjacency, and the id maps (Table
+// VI's memory column).
 func (idx *Index) MemoryBytes() int64 {
 	var b int64
-	for _, e := range idx.embs {
-		b += int64(len(e)) * 8
+	if idx.embs != nil {
+		b += int64(len(idx.embs.Data)) * 4
+	}
+	if idx.quant != nil {
+		b += idx.quant.MemoryBytes()
 	}
 	b += int64(idx.NumEdges()) * 4
 	b += int64(len(idx.ids)) * (4 + 8) // ids slice + pos map entries (approx)
@@ -425,12 +606,12 @@ func (idx *Index) MemoryBytes() int64 {
 }
 
 // Embedding returns the indexed representation of p, or nil.
-func (idx *Index) Embedding(p hetgraph.NodeID) vec.Vector {
+func (idx *Index) Embedding(p hetgraph.NodeID) vec.Vec32 {
 	i, ok := idx.pos[p]
 	if !ok {
 		return nil
 	}
-	return idx.embs[i]
+	return idx.embs.Row(int(i))
 }
 
 func sqrt(x float64) float64 {
@@ -444,39 +625,85 @@ func (idx *Index) String() string {
 	return fmt.Sprintf("pgindex: %d papers, %d edges, nav=%d", idx.Len(), idx.NumEdges(), idx.nav)
 }
 
-// distEntry pairs a dense node index with its (squared) distance to the
-// current query.
-type distEntry struct {
-	id   int32
-	dist float64
+// heapPushMin/heapPopMin maintain a binary min-heap over dist in a plain
+// slice; heapPushMax/heapPopMax the max-heap dual. Hand-rolled because
+// container/heap's interface boxing dominated the search profile.
+func heapPushMin(h *[]distEntry, e distEntry) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].dist <= s[i].dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
 }
 
-// distHeap is a min-heap over distance.
-type distHeap []distEntry
-
-func (h distHeap) Len() int            { return len(h) }
-func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
-func (h *distHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func heapPopMin(h *[]distEntry) distEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < n && s[l].dist < s[sm].dist {
+			sm = l
+		}
+		if r < n && s[r].dist < s[sm].dist {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		s[i], s[sm] = s[sm], s[i]
+		i = sm
+	}
+	*h = s
+	return top
 }
 
-// maxHeap is a max-heap over distance (worst of the result pool on top).
-type maxHeap []distEntry
+func heapPushMax(h *[]distEntry, e distEntry) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[p].dist >= s[i].dist {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+	*h = s
+}
 
-func (h maxHeap) Len() int            { return len(h) }
-func (h maxHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
-func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(distEntry)) }
-func (h *maxHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func heapPopMax(h *[]distEntry) distEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		lg := i
+		if l < n && s[l].dist > s[lg].dist {
+			lg = l
+		}
+		if r < n && s[r].dist > s[lg].dist {
+			lg = r
+		}
+		if lg == i {
+			break
+		}
+		s[i], s[lg] = s[lg], s[i]
+		i = lg
+	}
+	*h = s
+	return top
 }

@@ -14,17 +14,28 @@ import (
 // reverse edges are added (re-pruned when a neighbour's list overflows)
 // so the node is reachable. The first insert into an empty index makes
 // the node the navigating node.
-func (idx *Index) Insert(id hetgraph.NodeID, v vec.Vector) error {
+func (idx *Index) Insert(id hetgraph.NodeID, v vec.Vec32) error {
 	if _, dup := idx.pos[id]; dup {
 		return fmt.Errorf("pgindex: paper %d already indexed", id)
 	}
-	if len(idx.embs) > 0 && v.Dim() != idx.embs[0].Dim() {
-		return fmt.Errorf("pgindex: dimension %d != index dimension %d", v.Dim(), idx.embs[0].Dim())
+	if idx.embs == nil || idx.embs.Rows == 0 {
+		// First insert (or an index built over nothing): the new paper
+		// fixes the dimensionality.
+		idx.embs = vec.NewMatrix32(0, v.Dim())
+		if !idx.exactOnly {
+			idx.quant = &vec.Quantized{Cols: v.Dim()}
+		}
+	}
+	if v.Dim() != idx.embs.Cols {
+		return fmt.Errorf("pgindex: dimension %d != index dimension %d", v.Dim(), idx.embs.Cols)
 	}
 
 	dense := int32(len(idx.ids))
 	idx.ids = append(idx.ids, id)
-	idx.embs = append(idx.embs, v)
+	idx.embs.AppendRow(v)
+	if idx.quant != nil {
+		idx.quant.AppendRow(v)
+	}
 	idx.pos[id] = dense
 	idx.nbrs = append(idx.nbrs, nil)
 	if dense == 0 {
@@ -40,6 +51,10 @@ func (idx *Index) Insert(id hetgraph.NodeID, v vec.Vector) error {
 	for _, r := range res {
 		cands[r] = true
 	}
+	// The exhaustive search path scans every row, including the one just
+	// appended; as a candidate for itself it sits at distance zero and
+	// occludes everything, leaving the node an island.
+	delete(cands, dense)
 	idx.nbrs[dense] = idx.refineNeighbors(dense, cands, maxDegree)
 
 	// Reverse edges keep the new node reachable; overflowing lists are
@@ -64,7 +79,7 @@ func (idx *Index) Insert(id hetgraph.NodeID, v vec.Vector) error {
 }
 
 // searchDense is Search returning dense indices, for internal use.
-func (idx *Index) searchDense(q vec.Vector, m int) ([]int32, SearchStats) {
+func (idx *Index) searchDense(q vec.Vec32, m int) ([]int32, SearchStats) {
 	res, st := idx.Search(q, m, 0)
 	out := make([]int32, len(res))
 	for i, r := range res {

@@ -11,14 +11,14 @@ import (
 )
 
 func TestInsertIntoEmptyIndex(t *testing.T) {
-	idx := Build(map[hetgraph.NodeID]vec.Vector{}, Config{Refine: true})
-	if err := idx.Insert(5, vec.Vector{1, 0}); err != nil {
+	idx := Build(map[hetgraph.NodeID]vec.Vec32{}, Config{Refine: true})
+	if err := idx.Insert(5, vec.Vec32{1, 0}); err != nil {
 		t.Fatal(err)
 	}
 	if idx.Len() != 1 || idx.NavigatingNode() != 5 {
 		t.Fatalf("empty-insert state: len %d, nav %d", idx.Len(), idx.NavigatingNode())
 	}
-	res, _ := idx.Search(vec.Vector{1, 0}, 1, 0)
+	res, _ := idx.Search(vec.Vec32{1, 0}, 1, 0)
 	if len(res) != 1 || res[0].ID != 5 {
 		t.Errorf("search after first insert = %v", res)
 	}
@@ -33,9 +33,9 @@ func TestInsertFindable(t *testing.T) {
 	// neighbour afterwards.
 	for i := 0; i < 30; i++ {
 		id := hetgraph.NodeID(1000 + i)
-		v := vec.New(8)
+		v := vec.New32(8)
 		for j := range v {
-			v[j] = rng.NormFloat64()
+			v[j] = float32(rng.NormFloat64())
 		}
 		v.Normalize()
 		if err := idx.Insert(id, v); err != nil {
@@ -69,11 +69,11 @@ func TestInsertFindable(t *testing.T) {
 }
 
 func TestInsertRejectsDuplicatesAndBadDims(t *testing.T) {
-	idx := Build(map[hetgraph.NodeID]vec.Vector{1: {1, 0}}, Config{Refine: true})
-	if err := idx.Insert(1, vec.Vector{0, 1}); err == nil {
+	idx := Build(map[hetgraph.NodeID]vec.Vec32{1: {1, 0}}, Config{Refine: true})
+	if err := idx.Insert(1, vec.Vec32{0, 1}); err == nil {
 		t.Error("duplicate id accepted")
 	}
-	if err := idx.Insert(2, vec.Vector{0, 1, 2}); err == nil {
+	if err := idx.Insert(2, vec.Vec32{0, 1, 2}); err == nil {
 		t.Error("dimension mismatch accepted")
 	}
 }
@@ -81,11 +81,11 @@ func TestInsertRejectsDuplicatesAndBadDims(t *testing.T) {
 func TestInsertDuplicateGeometry(t *testing.T) {
 	// Exact duplicate vectors can occlude everything; the node must still
 	// become reachable.
-	idx := Build(map[hetgraph.NodeID]vec.Vector{1: {1, 0}, 2: {0, 1}, 3: {1, 1}}, Config{Refine: true})
-	if err := idx.Insert(9, vec.Vector{1, 0}); err != nil {
+	idx := Build(map[hetgraph.NodeID]vec.Vec32{1: {1, 0}, 2: {0, 1}, 3: {1, 1}}, Config{Refine: true})
+	if err := idx.Insert(9, vec.Vec32{1, 0}); err != nil {
 		t.Fatal(err)
 	}
-	res, _ := idx.Search(vec.Vector{1, 0}, 2, 0)
+	res, _ := idx.Search(vec.Vec32{1, 0}, 2, 0)
 	found := false
 	for _, r := range res {
 		if r.ID == 9 {

@@ -67,8 +67,8 @@ type proposal struct {
 // Distance evaluation — the dominant cost — runs in parallel over fixed
 // node chunks; proposals are applied in chunk order, so the result is
 // deterministic for a given seed regardless of GOMAXPROCS.
-func nnDescent(embs []vec.Vector, k, maxIters int, rng *rand.Rand) [][]int32 {
-	n := len(embs)
+func nnDescent(embs *vec.Matrix32, k, maxIters int, rng *rand.Rand) [][]int32 {
+	n := embs.Rows
 	if k >= n {
 		k = n - 1
 	}
@@ -87,7 +87,7 @@ func nnDescent(embs []vec.Vector, k, maxIters int, rng *rand.Rand) [][]int32 {
 			if int(j) == i {
 				continue
 			}
-			lists[i].insert(neighbor{id: j, dist: embs[i].L2Sq(embs[j]), isNew: true})
+			lists[i].insert(neighbor{id: j, dist: pairDist(embs, int32(i), j), isNew: true})
 		}
 	}
 
@@ -172,21 +172,27 @@ func nnDescent(embs []vec.Vector, k, maxIters int, rng *rand.Rand) [][]int32 {
 
 // joinCandidates produces the local-join proposals of one node: new x new
 // and new x old pairs among its general neighbours, with distances.
-func joinCandidates(embs []vec.Vector, nn, on []int32) []proposal {
+func joinCandidates(embs *vec.Matrix32, nn, on []int32) []proposal {
 	var out []proposal
 	for ai, a := range nn {
 		for _, b := range nn[ai+1:] {
 			if a != b {
-				out = append(out, proposal{a: a, b: b, dist: embs[a].L2Sq(embs[b])})
+				out = append(out, proposal{a: a, b: b, dist: pairDist(embs, a, b)})
 			}
 		}
 		for _, b := range on {
 			if a != b {
-				out = append(out, proposal{a: a, b: b, dist: embs[a].L2Sq(embs[b])})
+				out = append(out, proposal{a: a, b: b, dist: pairDist(embs, a, b)})
 			}
 		}
 	}
 	return out
+}
+
+// pairDist is the squared distance between two dense rows, widened to the
+// float64 the kNN lists order by.
+func pairDist(embs *vec.Matrix32, a, b int32) float64 {
+	return float64(vec.L2Sq32(embs.Row(int(a)), embs.Row(int(b))))
 }
 
 func dedupIDs(ids []int32) []int32 {

@@ -8,12 +8,12 @@ import (
 	"expertfind/internal/vec"
 )
 
-func randomEmbeddings(rng *rand.Rand, n, d int) map[hetgraph.NodeID]vec.Vector {
-	out := make(map[hetgraph.NodeID]vec.Vector, n)
+func randomEmbeddings(rng *rand.Rand, n, d int) map[hetgraph.NodeID]vec.Vec32 {
+	out := make(map[hetgraph.NodeID]vec.Vec32, n)
 	for i := 0; i < n; i++ {
-		v := vec.New(d)
+		v := vec.New32(d)
 		for j := range v {
-			v[j] = rng.NormFloat64()
+			v[j] = float32(rng.NormFloat64())
 		}
 		out[hetgraph.NodeID(i)] = v.Normalize()
 	}
@@ -22,19 +22,19 @@ func randomEmbeddings(rng *rand.Rand, n, d int) map[hetgraph.NodeID]vec.Vector {
 
 // clusteredEmbeddings mimics the fine-tuned geometry: tight clusters with
 // large inter-cluster gaps — the hard case for proximity-graph search.
-func clusteredEmbeddings(rng *rand.Rand, clusters, perCluster, d int) map[hetgraph.NodeID]vec.Vector {
-	out := map[hetgraph.NodeID]vec.Vector{}
+func clusteredEmbeddings(rng *rand.Rand, clusters, perCluster, d int) map[hetgraph.NodeID]vec.Vec32 {
+	out := map[hetgraph.NodeID]vec.Vec32{}
 	id := hetgraph.NodeID(0)
 	for c := 0; c < clusters; c++ {
-		center := vec.New(d)
+		center := vec.New32(d)
 		for j := range center {
-			center[j] = rng.NormFloat64()
+			center[j] = float32(rng.NormFloat64())
 		}
 		center.Normalize()
 		for p := 0; p < perCluster; p++ {
 			v := center.Clone()
 			for j := range v {
-				v[j] += rng.NormFloat64() * 0.01
+				v[j] += float32(rng.NormFloat64() * 0.01)
 			}
 			out[id] = v
 			id++
@@ -99,17 +99,17 @@ func TestBruteForceExact(t *testing.T) {
 func TestNNDescentRecall(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	embs := randomEmbeddings(rng, 200, 8)
-	dense := make([]vec.Vector, 200)
-	for i := range dense {
-		dense[i] = embs[hetgraph.NodeID(i)]
+	dense := vec.NewMatrix32(0, 8)
+	for i := 0; i < 200; i++ {
+		dense.AppendRow(embs[hetgraph.NodeID(i)])
 	}
 	k := 8
 	knn := nnDescent(dense, k, 15, rand.New(rand.NewSource(3)))
 	// Compare against exact kNN: average recall must be high.
 	var totalRecall float64
-	for i := range dense {
+	for i := 0; i < dense.Rows; i++ {
 		exact := map[int32]bool{}
-		res := BruteForce(embs, dense[i], k+1) // +1 for self
+		res := BruteForce(embs, dense.Row(i), k+1) // +1 for self
 		for _, r := range res {
 			if int(r.ID) != i {
 				exact[int32(r.ID)] = true
@@ -123,7 +123,7 @@ func TestNNDescentRecall(t *testing.T) {
 		}
 		totalRecall += float64(hit) / float64(k)
 	}
-	avg := totalRecall / float64(len(dense))
+	avg := totalRecall / float64(dense.Rows)
 	if avg < 0.85 {
 		t.Errorf("NNDescent recall = %.3f, want >= 0.85", avg)
 	}
@@ -140,11 +140,11 @@ func TestBuildProperties(t *testing.T) {
 		t.Error("index empty")
 	}
 	// Navigating node is the paper closest to the centroid.
-	centroid := vec.New(8)
+	centroid := vec.New32(8)
 	for _, e := range embs {
 		centroid.Add(e)
 	}
-	centroid.Scale(1 / float64(len(embs)))
+	centroid.Scale(1 / float32(len(embs)))
 	best := BruteForce(embs, centroid, 1)[0].ID
 	if idx.NavigatingNode() != best {
 		t.Errorf("navigating node %d, want %d", idx.NavigatingNode(), best)
@@ -193,7 +193,7 @@ func TestSearchRecallOnClusters(t *testing.T) {
 	for i := 0; i < queries; i++ {
 		q := embs[hetgraph.NodeID(rng.Intn(len(embs)))].Clone()
 		for j := range q {
-			q[j] += rng.NormFloat64() * 0.02
+			q[j] += float32(rng.NormFloat64() * 0.02)
 		}
 		exact := map[hetgraph.NodeID]bool{}
 		for _, r := range BruteForce(embs, q, m) {
@@ -249,7 +249,7 @@ func TestSearchResultsSorted(t *testing.T) {
 func TestRefineOcclusionRule(t *testing.T) {
 	// Three collinear points: p at 0, x at 1, y at 2.5. With candidates
 	// {x, y} for p: δ(x,y)=1.5 <= δ(p,y)=2.5, so y is redundant.
-	embs := map[hetgraph.NodeID]vec.Vector{
+	embs := map[hetgraph.NodeID]vec.Vec32{
 		0: {0}, 1: {1}, 2: {2.5},
 	}
 	idx := Build(embs, Config{K: 2, Refine: true, Seed: 1})
@@ -262,15 +262,15 @@ func TestRefineOcclusionRule(t *testing.T) {
 }
 
 func TestEmptyAndTinyIndexes(t *testing.T) {
-	idx := Build(map[hetgraph.NodeID]vec.Vector{}, Config{Refine: true})
+	idx := Build(map[hetgraph.NodeID]vec.Vec32{}, Config{Refine: true})
 	if idx.Len() != 0 {
 		t.Error("empty index non-empty")
 	}
-	if res, _ := idx.Search(vec.Vector{1}, 5, 0); res != nil {
+	if res, _ := idx.Search(vec.Vec32{1}, 5, 0); res != nil {
 		t.Error("search on empty index returned results")
 	}
-	one := Build(map[hetgraph.NodeID]vec.Vector{4: {1, 2}}, Config{Refine: true})
-	res, _ := one.Search(vec.Vector{1, 2}, 3, 0)
+	one := Build(map[hetgraph.NodeID]vec.Vec32{4: {1, 2}}, Config{Refine: true})
+	res, _ := one.Search(vec.Vec32{1, 2}, 3, 0)
 	if len(res) != 1 || res[0].ID != 4 {
 		t.Errorf("singleton search = %v", res)
 	}
@@ -316,7 +316,7 @@ func TestNoRefineKeepsRawKNN(t *testing.T) {
 }
 
 func TestEmbeddingAccessor(t *testing.T) {
-	embs := map[hetgraph.NodeID]vec.Vector{1: {1, 0}, 2: {0, 1}, 3: {1, 1}}
+	embs := map[hetgraph.NodeID]vec.Vec32{1: {1, 0}, 2: {0, 1}, 3: {1, 1}}
 	idx := Build(embs, Config{Refine: true})
 	if got := idx.Embedding(2); got == nil || got[1] != 1 {
 		t.Errorf("Embedding(2) = %v", got)

@@ -8,7 +8,7 @@ import (
 )
 
 // vecVector keeps Compact readable without importing vec at each use.
-type vecVector = vec.Vector
+type vecVector = vec.Vec32
 
 // Remove tombstones a paper: it disappears from search results immediately
 // while its slot keeps routing traffic (the standard proximity-graph
@@ -41,12 +41,13 @@ func (idx *Index) DeadFraction() float64 {
 }
 
 // Compact rebuilds the index over the live papers only, dropping
-// tombstones. cfg follows the same defaults as Build.
+// tombstones. cfg follows the same defaults as Build; pass the build-time
+// config (including ExactOnly) to keep the quantization mode.
 func (idx *Index) Compact(cfg Config) {
 	live := make(map[hetgraph.NodeID]vecVector, len(idx.ids)-idx.numDead)
 	for i, id := range idx.ids {
 		if !idx.isDead(int32(i)) {
-			live[id] = idx.embs[i]
+			live[id] = idx.embs.Row(i)
 		}
 	}
 	*idx = *Build(live, cfg)

@@ -10,29 +10,33 @@ import (
 	"expertfind/internal/vec"
 )
 
-// indexPersist is the gob on-disk form of an Index.
+// indexPersist is the gob on-disk form of an Index. Embeddings are stored
+// as the flat float32 matrix (Embs32); the float64 Embs field remains so
+// snapshots written before the kernel migration still decode. Quantized
+// codes are never persisted — they are rebuilt from the float32 rows on
+// load, which costs one pass and keeps the file format independent of the
+// coding scheme.
 type indexPersist struct {
-	IDs     []hetgraph.NodeID
-	Dim     int
-	Embs    []float64 // row-major, len(IDs) x Dim
-	Nbrs    [][]int32
-	Nav     int32
-	Entries []int32
-	Dead    []bool
-	NumDead int
+	IDs       []hetgraph.NodeID
+	Dim       int
+	Embs      []float64 // legacy row-major, len(IDs) x Dim; nil in new files
+	Embs32    []float32 // row-major, len(IDs) x Dim
+	ExactOnly bool
+	Nbrs      [][]int32
+	Nav       int32
+	Entries   []int32
+	Dead      []bool
+	NumDead   int
 }
 
 // WriteTo serialises the index, embeddings included, so the online stage
 // can load it without re-running NNDescent and refinement.
 func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
-	p := indexPersist{IDs: idx.ids, Nbrs: idx.nbrs, Nav: idx.nav, Entries: idx.entries, Dead: idx.dead, NumDead: idx.numDead}
-	if len(idx.embs) > 0 {
-		p.Dim = idx.embs[0].Dim()
-		p.Embs = make([]float64, 0, len(idx.embs)*p.Dim)
-		for _, e := range idx.embs {
-			p.Embs = append(p.Embs, e...)
-		}
+	p := indexPersist{IDs: idx.ids, ExactOnly: idx.exactOnly, Nbrs: idx.nbrs, Nav: idx.nav, Entries: idx.entries, Dead: idx.dead, NumDead: idx.numDead}
+	if idx.embs != nil && idx.embs.Rows > 0 {
+		p.Dim = idx.embs.Cols
+		p.Embs32 = idx.embs.Data
 	}
 	cw := &countingWriter{w: bw}
 	if err := gob.NewEncoder(cw).Encode(&p); err != nil {
@@ -41,7 +45,8 @@ func (idx *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, bw.Flush()
 }
 
-// ReadIndex deserialises an index written by WriteTo.
+// ReadIndex deserialises an index written by WriteTo, accepting both the
+// current float32 layout and legacy float64 snapshots.
 func ReadIndex(r io.Reader) (*Index, error) {
 	var p indexPersist
 	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&p); err != nil {
@@ -50,29 +55,44 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if len(p.Nbrs) != len(p.IDs) {
 		return nil, fmt.Errorf("pgindex: read: %d adjacency lists for %d nodes", len(p.Nbrs), len(p.IDs))
 	}
-	if p.Dim > 0 && len(p.Embs) != len(p.IDs)*p.Dim {
-		return nil, fmt.Errorf("pgindex: read: %d weights for %d x %d", len(p.Embs), len(p.IDs), p.Dim)
+	nWeights := len(p.Embs32)
+	if nWeights == 0 {
+		nWeights = len(p.Embs)
+	}
+	if p.Dim > 0 && nWeights != len(p.IDs)*p.Dim {
+		return nil, fmt.Errorf("pgindex: read: %d weights for %d x %d", nWeights, len(p.IDs), p.Dim)
 	}
 	if len(p.IDs) > 0 && (p.Nav < 0 || int(p.Nav) >= len(p.IDs)) {
 		return nil, fmt.Errorf("pgindex: read: navigating node %d out of range", p.Nav)
 	}
 	idx := &Index{
-		ids:     p.IDs,
-		nbrs:    p.Nbrs,
-		nav:     p.Nav,
-		entries: p.Entries,
-		pos:     make(map[hetgraph.NodeID]int32, len(p.IDs)),
-		dead:    p.Dead,
-		numDead: p.NumDead,
+		ids:       p.IDs,
+		exactOnly: p.ExactOnly,
+		nbrs:      p.Nbrs,
+		nav:       p.Nav,
+		entries:   p.Entries,
+		pos:       make(map[hetgraph.NodeID]int32, len(p.IDs)),
+		dead:      p.Dead,
+		numDead:   p.NumDead,
 	}
 	for i, id := range p.IDs {
 		if !idx.isDead(int32(i)) {
 			idx.pos[id] = int32(i)
 		}
 	}
-	idx.embs = make([]vec.Vector, len(p.IDs))
-	for i := range idx.embs {
-		idx.embs[i] = vec.Vector(p.Embs[i*p.Dim : (i+1)*p.Dim])
+	if len(p.IDs) > 0 {
+		if len(p.Embs32) > 0 {
+			idx.embs = &vec.Matrix32{Rows: len(p.IDs), Cols: p.Dim, Data: p.Embs32}
+		} else {
+			m, err := vec.Matrix32FromFloat64(len(p.IDs), p.Dim, p.Embs)
+			if err != nil {
+				return nil, fmt.Errorf("pgindex: read: %w", err)
+			}
+			idx.embs = m
+		}
+		if !idx.exactOnly {
+			idx.quant = vec.Quantize(idx.embs)
+		}
 	}
 	for i, nbrs := range p.Nbrs {
 		for _, nb := range nbrs {

@@ -2,7 +2,9 @@ package ta
 
 import (
 	"context"
+	"slices"
 	"sort"
+	"sync"
 )
 
 // This file holds the generic threshold-algorithm core: an NRA-style
@@ -21,6 +23,35 @@ type ListEntry struct {
 type KeyScore struct {
 	Key   int32
 	Score float64
+}
+
+// aggScratch holds the per-run working arrays of AggregateCtx, pooled so a
+// hot query path does not reallocate them per request. The seen-list sets
+// live in one CSR buffer (offsets from the per-key occurrence counts)
+// instead of a slice per key.
+type aggScratch struct {
+	acc       []float64
+	seen      []bool
+	occur     []int32
+	offsets   []int32
+	seenCount []int32
+	seenBuf   []int32
+	frontier  []float64
+	lows      []float64
+}
+
+var aggPool = sync.Pool{New: func() any { return new(aggScratch) }}
+
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	var zero T
+	for i := range buf {
+		buf[i] = zero
+	}
+	return buf
 }
 
 // Aggregate returns the n keys with the largest summed scores across the
@@ -51,25 +82,41 @@ func AggregateCtx(ctx context.Context, lists [][]ListEntry, numKeys, n int,
 		return nil, st, ctx.Err()
 	}
 
-	acc := make([]float64, numKeys)
-	seen := make([]bool, numKeys)
-	seenLists := make([][]int32, numKeys)
-	occur := make([]int32, numKeys)
-	for _, l := range lists {
-		for _, e := range l {
-			occur[e.Key]++
-		}
-	}
-	frontier := make([]float64, len(lists))
+	sc := aggPool.Get().(*aggScratch)
+	defer aggPool.Put(sc)
+	sc.acc = grow(sc.acc, numKeys)
+	sc.seen = grow(sc.seen, numKeys)
+	sc.occur = grow(sc.occur, numKeys)
+	sc.offsets = grow(sc.offsets, numKeys)
+	sc.seenCount = grow(sc.seenCount, numKeys)
+	sc.frontier = grow(sc.frontier, len(lists))
+	acc, seen, frontier := sc.acc, sc.seen, sc.frontier
 
+	total := 0
 	maxDepth := 0
 	for _, l := range lists {
+		total += len(l)
 		if len(l) > maxDepth {
 			maxDepth = len(l)
 		}
 	}
+	for _, l := range lists {
+		for _, e := range l {
+			sc.occur[e.Key]++
+		}
+	}
+	var off int32
+	for k := 0; k < numKeys; k++ {
+		sc.offsets[k] = off
+		off += sc.occur[k]
+	}
+	if cap(sc.seenBuf) < total {
+		sc.seenBuf = make([]int32, total)
+	}
+	seenBuf := sc.seenBuf[:total]
 
 	depth := 0
+	var maxAcc float64 // largest accumulated sum so far: caps every LB
 	for depth < maxDepth {
 		if err := ctx.Err(); err != nil {
 			return nil, st, err
@@ -79,8 +126,12 @@ func AggregateCtx(ctx context.Context, lists [][]ListEntry, numKeys, n int,
 				e := l[depth]
 				st.SortedAccesses++
 				acc[e.Key] += e.Score
+				if acc[e.Key] > maxAcc {
+					maxAcc = acc[e.Key]
+				}
 				seen[e.Key] = true
-				seenLists[e.Key] = append(seenLists[e.Key], int32(j))
+				seenBuf[sc.offsets[e.Key]+sc.seenCount[e.Key]] = int32(j)
+				sc.seenCount[e.Key]++
 				frontier[j] = e.Score
 			} else {
 				frontier[j] = 0
@@ -88,7 +139,7 @@ func AggregateCtx(ctx context.Context, lists [][]ListEntry, numKeys, n int,
 		}
 		depth++
 		st.Depth = depth
-		if terminated(acc, seen, seenLists, frontier, n) {
+		if terminated(sc, n, maxAcc) {
 			st.EarlyTermination = depth < maxDepth
 			break
 		}
@@ -100,7 +151,7 @@ func AggregateCtx(ctx context.Context, lists [][]ListEntry, numKeys, n int,
 			continue
 		}
 		score := acc[k]
-		if int32(len(seenLists[k])) != occur[k] {
+		if sc.seenCount[k] != sc.occur[k] {
 			score = exact(k)
 		}
 		out = append(out, KeyScore{Key: k, Score: score})
@@ -123,11 +174,86 @@ func AggregateCtx(ctx context.Context, lists [][]ListEntry, numKeys, n int,
 	return out, st, nil
 }
 
-func sortKeyScoresDesc(out []KeyScore) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+// terminated applies the NRA termination check: LB (the n-th largest lower
+// bound) must be >= UB (the greatest upper bound among all other
+// candidates, including the bound Σ_j frontier_j on never-seen keys).
+func terminated(sc *aggScratch, n int, maxAcc float64) bool {
+	acc, seen, frontier := sc.acc, sc.seen, sc.frontier
+
+	// Cheap O(lists) pre-check: UB is at least the frontier sum (an unseen
+	// key could sit just below every frontier), and LB is at most the
+	// largest accumulated sum, so if Σ frontier exceeds max(acc) the full
+	// test cannot fire. Early rounds, where the frontiers are still fat,
+	// skip the O(candidates) passes below entirely.
+	var totalFrontier float64
+	for _, f := range frontier {
+		totalFrontier += f
+	}
+	if totalFrontier > maxAcc {
+		return false
+	}
+
+	lows := sc.lows[:0]
+	for k, lo := range acc {
+		if seen[k] {
+			lows = append(lows, lo)
 		}
-		return out[i].Key < out[j].Key
+	}
+	sc.lows = lows
+	if len(lows) < n {
+		return false
+	}
+	sort.Float64s(lows)
+	lb := lows[len(lows)-n]
+
+	// Upper bound of an unseen key: it could sit just below the frontier
+	// of every list.
+	ub := totalFrontier
+
+	// Identify the provisional top-n: everyone strictly above lb, plus
+	// enough lb-tied keys (smallest first) to fill n slots.
+	above := 0
+	for k, lo := range acc {
+		if seen[k] && lo > lb {
+			above++
+		}
+	}
+	ties := n - above
+
+	// Upper bound of each seen key outside the provisional top-n: its
+	// accumulated part plus the frontier of every list it has not
+	// appeared in, i.e. lo + totalFrontier - Σ_{j seen} frontier_j.
+	for k, lo := range acc {
+		if !seen[k] || lo > lb {
+			continue
+		}
+		if lo == lb && ties > 0 {
+			ties--
+			continue
+		}
+		u := lo + totalFrontier
+		for _, j := range sc.seenBuf[sc.offsets[k] : sc.offsets[k]+sc.seenCount[k]] {
+			u -= frontier[j]
+		}
+		if u > ub {
+			ub = u
+		}
+	}
+	return lb >= ub
+}
+
+func sortKeyScoresDesc(out []KeyScore) {
+	slices.SortFunc(out, func(a, b KeyScore) int {
+		switch {
+		case a.Score > b.Score:
+			return -1
+		case a.Score < b.Score:
+			return 1
+		case a.Key < b.Key:
+			return -1
+		case a.Key > b.Key:
+			return 1
+		}
+		return 0
 	})
 }

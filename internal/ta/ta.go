@@ -13,7 +13,10 @@ package ta
 
 import (
 	"context"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"expertfind/internal/hetgraph"
 )
@@ -57,28 +60,46 @@ func ExpertScore(paperRank, authorRank, numAuthors int) float64 {
 	return ContributionWeight(authorRank, numAuthors) / float64(paperRank)
 }
 
+// harmonic returns H(n), memoised: every H(i) extends H(i-1) by 1/i, the
+// same ascending summation the direct loop performs, so cached and
+// uncached values are bit-identical. The table is tiny (author counts),
+// swapped atomically so concurrent rankings read without locking.
 func harmonic(n int) float64 {
-	var h float64
-	for i := 1; i <= n; i++ {
-		h += 1 / float64(i)
+	if n < 1 {
+		return 0
 	}
-	return h
+	tab, _ := harmonicVal.Load().([]float64)
+	if n < len(tab) {
+		return tab[n]
+	}
+	harmonicMu.Lock()
+	defer harmonicMu.Unlock()
+	tab, _ = harmonicVal.Load().([]float64)
+	if n < len(tab) {
+		return tab[n]
+	}
+	nt := make([]float64, n+1)
+	copy(nt, tab)
+	start := len(tab)
+	if start < 1 {
+		start = 1
+	}
+	for i := start; i <= n; i++ {
+		nt[i] = nt[i-1] + 1/float64(i)
+	}
+	harmonicVal.Store(nt)
+	return nt[n]
 }
 
-// candidateIndex interns expert NodeIDs as dense keys for Aggregate.
+var (
+	harmonicMu  sync.Mutex
+	harmonicVal atomic.Value // []float64; index i holds H(i)
+)
+
+// candidateIndex interns expert NodeIDs as dense keys for Aggregate: the
+// key of id is its position in the sorted ids slice.
 type candidateIndex struct {
 	ids []hetgraph.NodeID
-	idx map[hetgraph.NodeID]int32
-}
-
-func (c *candidateIndex) intern(a hetgraph.NodeID) int32 {
-	if i, ok := c.idx[a]; ok {
-		return i
-	}
-	i := int32(len(c.ids))
-	c.ids = append(c.ids, a)
-	c.idx[a] = i
-	return i
 }
 
 // buildLists materialises the m ranked lists of Figure 6, one per
@@ -86,36 +107,35 @@ func (c *candidateIndex) intern(a hetgraph.NodeID) int32 {
 // own authors; all other candidates implicitly score zero, exactly the
 // S(a,p_j)=0 convention of the paper). The Zipf weight is strictly
 // decreasing in author rank, so each list is already in descending score
-// order.
+// order. All entries live in one flat arena sliced per paper.
 func buildLists(g *hetgraph.Graph, papers []hetgraph.NodeID) ([][]ListEntry, *candidateIndex) {
 	// Assign dense keys in ascending NodeID order so Aggregate's key
 	// tie-break coincides with the package's NodeID tie-break — otherwise
 	// equal-score experts at the top-n boundary could differ from the
-	// full-scan ranking.
-	cands := &candidateIndex{idx: map[hetgraph.NodeID]int32{}}
-	var all []hetgraph.NodeID
+	// full-scan ranking. Sort-and-compact plus binary search beats a hash
+	// map here: candidate sets are a few hundred ids.
+	total := 0
 	for _, p := range papers {
-		for _, a := range g.AuthorsOf(p) {
-			if _, ok := cands.idx[a]; !ok {
-				cands.idx[a] = -1 // placeholder
-				all = append(all, a)
-			}
-		}
+		total += len(g.AuthorsOf(p))
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	cands.idx = make(map[hetgraph.NodeID]int32, len(all))
-	for _, a := range all {
-		cands.intern(a)
+	all := make([]hetgraph.NodeID, 0, total)
+	for _, p := range papers {
+		all = append(all, g.AuthorsOf(p)...)
 	}
+	slices.Sort(all)
+	all = slices.Compact(all)
+	cands := &candidateIndex{ids: all}
 
+	arena := make([]ListEntry, 0, total)
 	lists := make([][]ListEntry, 0, len(papers))
 	for j, p := range papers {
 		authors := g.AuthorsOf(p)
-		l := make([]ListEntry, len(authors))
+		start := len(arena)
 		for i, a := range authors {
-			l[i] = ListEntry{Key: cands.idx[a], Score: ExpertScore(j+1, i+1, len(authors))}
+			k, _ := slices.BinarySearch(all, a)
+			arena = append(arena, ListEntry{Key: int32(k), Score: ExpertScore(j+1, i+1, len(authors))})
 		}
-		lists = append(lists, l)
+		lists = append(lists, arena[start:len(arena):len(arena)])
 	}
 	return lists, cands
 }
@@ -142,22 +162,39 @@ func TopExpertsCtx(ctx context.Context, g *hetgraph.Graph, papers []hetgraph.Nod
 	// summation order — Aggregate re-scores every returned winner through
 	// it, and cluster routers re-sum cross-shard contributions in the
 	// same order, so single-node and distributed scores agree bit for
-	// bit. The per-author contribution index is built lazily on the first
-	// call — TA often terminates without needing random access at all.
-	var contribs map[int32][]float64
+	// bit. The per-key contribution index (CSR over one flat buffer,
+	// filled in ascending paper rank so the prefix order IS the canonical
+	// order) is built lazily on the first call — TA often terminates
+	// without needing random access at all.
+	var coff, ccnt []int32
+	var cbuf []float64
 	exact := func(key int32) float64 {
-		if contribs == nil {
-			contribs = make(map[int32][]float64, len(cands.ids))
-			for j, p := range papers {
-				authors := g.AuthorsOf(p)
-				for i, a := range authors {
-					k := cands.idx[a]
-					contribs[k] = append(contribs[k], ExpertScore(j+1, i+1, len(authors)))
+		if cbuf == nil {
+			total := 0
+			ccnt = make([]int32, len(cands.ids))
+			for _, l := range lists {
+				total += len(l)
+				for _, e := range l {
+					ccnt[e.Key]++
+				}
+			}
+			coff = make([]int32, len(cands.ids))
+			var off int32
+			for k := range coff {
+				coff[k] = off
+				off += ccnt[k]
+				ccnt[k] = 0
+			}
+			cbuf = make([]float64, total)
+			for _, l := range lists {
+				for _, e := range l {
+					cbuf[coff[e.Key]+ccnt[e.Key]] = e.Score
+					ccnt[e.Key]++
 				}
 			}
 		}
 		var r float64
-		for _, s := range contribs[key] {
+		for _, s := range cbuf[coff[key] : coff[key]+ccnt[key]] {
 			r += s
 		}
 		return r
@@ -184,63 +221,6 @@ func TopExpertsCtx(ctx context.Context, g *hetgraph.Graph, papers []hetgraph.Nod
 		return out[i].Expert < out[j].Expert
 	})
 	return out, st, nil
-}
-
-// terminated applies the NRA termination check: LB (the n-th largest lower
-// bound) must be >= UB (the greatest upper bound among all other
-// candidates, including the bound Σ_j frontier_j on never-seen keys).
-func terminated(acc []float64, seen []bool, seenLists [][]int32,
-	frontier []float64, n int) bool {
-	lows := make([]float64, 0, len(acc))
-	for k, lo := range acc {
-		if seen[k] {
-			lows = append(lows, lo)
-		}
-	}
-	if len(lows) < n {
-		return false
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(lows)))
-	lb := lows[n-1]
-
-	// Upper bound of an unseen key: it could sit just below the frontier
-	// of every list.
-	var totalFrontier float64
-	for _, f := range frontier {
-		totalFrontier += f
-	}
-	ub := totalFrontier
-
-	// Identify the provisional top-n: everyone strictly above lb, plus
-	// enough lb-tied keys (smallest first) to fill n slots.
-	above := 0
-	for k, lo := range acc {
-		if seen[k] && lo > lb {
-			above++
-		}
-	}
-	ties := n - above
-
-	// Upper bound of each seen key outside the provisional top-n: its
-	// accumulated part plus the frontier of every list it has not
-	// appeared in, i.e. lo + totalFrontier - Σ_{j seen} frontier_j.
-	for k, lo := range acc {
-		if !seen[k] || lo > lb {
-			continue
-		}
-		if lo == lb && ties > 0 {
-			ties--
-			continue
-		}
-		u := lo + totalFrontier
-		for _, j := range seenLists[k] {
-			u -= frontier[j]
-		}
-		if u > ub {
-			ub = u
-		}
-	}
-	return lb >= ub
 }
 
 // TopExpertsFullScan computes R(a) for every candidate expert of the

@@ -39,10 +39,16 @@ func (p Pooling) String() string {
 // every row is deterministically initialised from a hash of its token's
 // surface form, so documents sharing subwords are already close before any
 // fine-tuning — the property the frozen SBERT/SciBERT baselines rely on.
+//
+// The table is stored in float32 (one contiguous Matrix32): serving-path
+// encodes pool rows with the float32 kernels, while the trainer pools
+// through EncodeTokensRaw64 in float64 so gradient checks keep full
+// precision. Rows are initialised from float64 draws rounded once, so the
+// table is independent of which path reads it.
 type Encoder struct {
 	vocab   *Vocab
 	tok     *Tokenizer
-	Emb     *vec.Matrix // token embedding table Θ_B, vocab.Size() x Dim
+	Emb     *vec.Matrix32 // token embedding table Θ_B, vocab.Size() x Dim
 	Dim     int
 	Pooling Pooling
 	// Normalize scales document vectors to unit L2 norm after pooling
@@ -63,7 +69,7 @@ func NewEncoder(v *Vocab, dim int, seed int64) *Encoder {
 	e := &Encoder{
 		vocab:     v,
 		tok:       NewTokenizer(v),
-		Emb:       vec.NewMatrix(v.Size(), dim),
+		Emb:       vec.NewMatrix32(v.Size(), dim),
 		Dim:       dim,
 		Pooling:   MeanPooling,
 		Normalize: true,
@@ -80,20 +86,25 @@ func NewEncoder(v *Vocab, dim int, seed int64) *Encoder {
 // mean of deterministic hash vectors of the surface form and its character
 // 3- and 4-grams. Morphological variants of one stem therefore start out
 // close — the sub-lexical "semantic" knowledge a real pre-trained encoder
-// brings, which bag-of-words baselines lack.
-func initTokenRow(row vec.Vector, token string, seed int64) {
+// brings, which bag-of-words baselines lack. The accumulation runs in
+// float64 and rounds once into the float32 row.
+func initTokenRow(row vec.Vec32, token string, seed int64) {
+	acc := vec.New(len(row))
 	surface := strings.TrimPrefix(token, "##")
 	padded := "<" + surface + ">"
-	hashInto(row, token, seed) // the exact form always contributes
+	hashInto(acc, token, seed) // the exact form always contributes
 	r := []rune(padded)
 	tmp := vec.New(len(row))
 	for n := 3; n <= 4; n++ {
 		for i := 0; i+n <= len(r); i++ {
 			hashInto(tmp.Zero(), string(r[i:i+n]), seed)
-			row.Add(tmp)
+			acc.Add(tmp)
 		}
 	}
-	row.Normalize()
+	acc.Normalize()
+	for j := range row {
+		row[j] = float32(acc[j])
+	}
 }
 
 // PretrainDistributional completes the encoder's "pre-training" with a
@@ -104,7 +115,7 @@ func initTokenRow(row vec.Vector, token string, seed int64) {
 // correlated vectors, the distributional semantics a real pre-trained
 // language model brings and that bag-of-words methods lack. The result is
 // blended equally with the character-n-gram initialisation and
-// renormalised.
+// renormalised; the blend runs in float64 and rounds once per component.
 func PretrainDistributional(e *Encoder, corpus []string) {
 	acc := vec.NewMatrix(e.vocab.Size(), e.Dim)
 	sig := vec.New(e.Dim)
@@ -127,7 +138,11 @@ func PretrainDistributional(e *Encoder, corpus []string) {
 		}
 		dist.Normalize()
 		row := e.Emb.Row(id)
-		row.Scale(0.5).Axpy(0.5, dist).Normalize()
+		blend := row.Float64()
+		blend.Scale(0.5).Axpy(0.5, dist).Normalize()
+		for j := range row {
+			row[j] = float32(blend[j])
+		}
 	}
 }
 
@@ -135,8 +150,8 @@ func PretrainDistributional(e *Encoder, corpus []string) {
 // form: the same character-n-gram construction the encoder's rows start
 // from. Baselines that simulate corpus-trained word embeddings share it so
 // that methods differ in how they use structure, not in lexical capability.
-func SurfaceVector(dim int, s string, seed int64) vec.Vector {
-	row := vec.New(dim)
+func SurfaceVector(dim int, s string, seed int64) vec.Vec32 {
+	row := vec.New32(dim)
 	initTokenRow(row, s, seed)
 	return row
 }
@@ -159,14 +174,14 @@ func (e *Encoder) Tokenizer() *Tokenizer { return e.tok }
 func (e *Encoder) Vocab() *Vocab { return e.vocab }
 
 // Encode maps a document's text to its representation v_p (Eq. 2).
-func (e *Encoder) Encode(text string) vec.Vector {
+func (e *Encoder) Encode(text string) vec.Vec32 {
 	return e.EncodeTokens(e.tok.Tokenize(text))
 }
 
 // EncodeTokens pools the embedding rows of ids into a document vector,
 // normalised when Normalize is set. An empty token list yields the zero
 // vector.
-func (e *Encoder) EncodeTokens(ids []TokenID) vec.Vector {
+func (e *Encoder) EncodeTokens(ids []TokenID) vec.Vec32 {
 	out := e.EncodeTokensRaw(ids)
 	if e.Normalize {
 		out.Normalize()
@@ -174,10 +189,10 @@ func (e *Encoder) EncodeTokens(ids []TokenID) vec.Vector {
 	return out
 }
 
-// EncodeTokensRaw pools without the final normalisation — the trainer uses
-// it to differentiate through the normalisation explicitly.
-func (e *Encoder) EncodeTokensRaw(ids []TokenID) vec.Vector {
-	out := vec.New(e.Dim)
+// EncodeTokensRaw pools without the final normalisation, entirely in
+// float32 — the serving path.
+func (e *Encoder) EncodeTokensRaw(ids []TokenID) vec.Vec32 {
+	out := vec.New32(e.Dim)
 	if len(ids) == 0 {
 		return out
 	}
@@ -195,7 +210,38 @@ func (e *Encoder) EncodeTokensRaw(ids []TokenID) vec.Vector {
 	default: // MeanPooling, IDF-weighted
 		ws := e.PoolWeights(ids)
 		for i, id := range ids {
-			out.Axpy(ws[i], e.Emb.Row(int(id)))
+			out.Axpy(float32(ws[i]), e.Emb.Row(int(id)))
+		}
+	}
+	return out
+}
+
+// EncodeTokensRaw64 pools the float32 rows with float64 accumulation and
+// no final normalisation — the trainer's forward pass, where the numerical
+// gradient check needs more resolution than float32 partial sums give.
+func (e *Encoder) EncodeTokensRaw64(ids []TokenID) vec.Vector {
+	out := vec.New(e.Dim)
+	if len(ids) == 0 {
+		return out
+	}
+	switch e.Pooling {
+	case MaxPooling:
+		row := e.Emb.Row(int(ids[0]))
+		for j, x := range row {
+			out[j] = float64(x)
+		}
+		for _, id := range ids[1:] {
+			row := e.Emb.Row(int(id))
+			for j, x := range row {
+				if float64(x) > out[j] {
+					out[j] = float64(x)
+				}
+			}
+		}
+	default: // MeanPooling, IDF-weighted
+		ws := e.PoolWeights(ids)
+		for i, id := range ids {
+			vec.AxpyInto64(out, ws[i], e.Emb.Row(int(id)))
 		}
 	}
 	return out
@@ -238,16 +284,20 @@ func (e *Encoder) NumParameters() int { return len(e.Emb.Data) }
 
 // NewEncoderWithTable builds an encoder over v whose embedding table is
 // the given row-major weight data (vocab.Size() x dim) — the restore path
-// for a fine-tuned Θ_B saved to disk. The data slice is used directly, not
-// copied.
+// for a fine-tuned Θ_B saved to disk. The float64 data is rounded into the
+// float32 table; a table saved via Emb.Float64() restores bit-identically.
 func NewEncoderWithTable(v *Vocab, dim int, data []float64) (*Encoder, error) {
-	if len(data) != v.Size()*dim {
+	if dim <= 0 {
+		return nil, fmt.Errorf("textenc: non-positive dimension %d", dim)
+	}
+	emb, err := vec.Matrix32FromFloat64(v.Size(), dim, data)
+	if err != nil {
 		return nil, fmt.Errorf("textenc: table has %d weights, want %d", len(data), v.Size()*dim)
 	}
 	e := &Encoder{
 		vocab:     v,
 		tok:       NewTokenizer(v),
-		Emb:       &vec.Matrix{Rows: v.Size(), Cols: dim, Data: data},
+		Emb:       emb,
 		Dim:       dim,
 		Pooling:   MeanPooling,
 		Normalize: true,
@@ -267,7 +317,7 @@ func (e *Encoder) PoolArgmax(ids []TokenID) []int {
 		panic("textenc: PoolArgmax of no tokens")
 	}
 	arg := make([]int, e.Dim)
-	best := make([]float64, e.Dim)
+	best := make([]float32, e.Dim)
 	copy(best, e.Emb.Row(int(ids[0])))
 	for i, id := range ids[1:] {
 		row := e.Emb.Row(int(id))

@@ -29,12 +29,13 @@ func (t *Tokenizer) Vocab() *Vocab { return t.vocab }
 // length.
 func (t *Tokenizer) Tokenize(text string) []TokenID {
 	var out []TokenID
-	for _, w := range SplitWords(text) {
+	forEachWord(text, func(w string) bool {
 		if len(out) >= t.maxLen {
-			break
+			return false
 		}
 		out = t.appendWord(out, w)
-	}
+		return true
+	})
 	if len(out) > t.maxLen {
 		out = out[:t.maxLen]
 	}
@@ -45,18 +46,32 @@ func (t *Tokenizer) appendWord(out []TokenID, w string) []TokenID {
 	if id, ok := t.vocab.ID(w); ok {
 		return append(out, id)
 	}
-	r := []rune(w)
+	// Greedy longest-match segmentation over rune boundaries. Candidates
+	// are substrings of w probed against the whole-word map (first piece)
+	// or the bare-continuation map (later pieces, standing in for
+	// "##"+piece), so no candidate string is ever built. offs[k] is the
+	// byte offset of the k-th rune.
+	offs := make([]int, 0, 32)
+	for i := range w {
+		offs = append(offs, i)
+	}
+	offs = append(offs, len(w))
+	nr := len(offs) - 1
+	mark := len(out)
 	start := 0
-	var pieces []TokenID
-	for start < len(r) {
+	for start < nr {
 		matched := false
-		for end := len(r); end > start; end-- {
-			cand := string(r[start:end])
+		for end := nr; end > start; end-- {
+			cand := w[offs[start]:offs[end]]
+			var id TokenID
+			var ok bool
 			if start > 0 {
-				cand = "##" + cand
+				id, ok = t.vocab.contID(cand)
+			} else {
+				id, ok = t.vocab.ID(cand)
 			}
-			if id, ok := t.vocab.ID(cand); ok {
-				pieces = append(pieces, id)
+			if ok {
+				out = append(out, id)
 				start = end
 				matched = true
 				break
@@ -65,10 +80,10 @@ func (t *Tokenizer) appendWord(out []TokenID, w string) []TokenID {
 		if !matched {
 			// Unsegmentable word: represent the whole word as [UNK],
 			// matching WordPiece behaviour.
-			return append(out, UnknownToken)
+			return append(out[:mark], UnknownToken)
 		}
 	}
-	return append(out, pieces...)
+	return out
 }
 
 func logIDF(numDocs, df int) float64 {

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // TokenID indexes a token in a Vocab. The zero value is the unknown token.
@@ -30,6 +31,11 @@ const UnknownToken TokenID = 0
 type Vocab struct {
 	tokens []string
 	ids    map[string]TokenID
+	// contIDs indexes the "##"-continuation tokens by their bare surface
+	// (prefix stripped), so the tokenizer's greedy segmentation can probe
+	// substrings of the word directly instead of building "##"+piece
+	// strings for every candidate length.
+	contIDs map[string]TokenID
 	// docFreq[t] counts the corpus documents containing token t at build
 	// time; the encoder turns it into IDF weights.
 	docFreq []int
@@ -168,7 +174,19 @@ func (v *Vocab) add(tok string) TokenID {
 	id := TokenID(len(v.tokens))
 	v.tokens = append(v.tokens, tok)
 	v.ids[tok] = id
+	if strings.HasPrefix(tok, "##") {
+		if v.contIDs == nil {
+			v.contIDs = map[string]TokenID{}
+		}
+		v.contIDs[tok[2:]] = id
+	}
 	return id
+}
+
+// contID returns the id of the continuation token "##"+s, if present.
+func (v *Vocab) contID(s string) (TokenID, bool) {
+	id, ok := v.contIDs[s]
+	return id, ok
 }
 
 // Size returns the number of tokens in the vocabulary.
@@ -201,22 +219,85 @@ func (v *Vocab) IDF(id TokenID) float64 {
 // lexical baselines (TFIDF, Avg.GloVe-sim).
 func SplitWords(text string) []string {
 	var words []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() > 0 {
-			words = append(words, b.String())
-			b.Reset()
-		}
-	}
-	for _, r := range text {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			b.WriteRune(unicode.ToLower(r))
-		} else {
-			flush()
-		}
-	}
-	flush()
+	forEachWord(text, func(w string) bool {
+		words = append(words, w)
+		return true
+	})
 	return words
+}
+
+// forEachWord streams the words of SplitWords without materialising the
+// slice. Words that are already lower-case ASCII — the overwhelmingly
+// common case for paper titles — are passed as substrings of text, so the
+// hot tokenize path allocates nothing per word; anything needing case
+// folding or non-ASCII handling goes through a scratch buffer. Returning
+// false from fn stops the scan.
+func forEachWord(text string, fn func(string) bool) {
+	var scratch []byte
+	i, n := 0, len(text)
+	for i < n {
+		// Skip separators.
+		c := text[i]
+		if c < utf8.RuneSelf {
+			if !isASCIIWordByte(c) {
+				i++
+				continue
+			}
+		} else {
+			r, sz := utf8.DecodeRuneInString(text[i:])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				i += sz
+				continue
+			}
+		}
+		// A word starts at i. dirty marks that the lowered word differs
+		// from the raw bytes (uppercase ASCII or non-ASCII runes).
+		start := i
+		dirty := false
+		for i < n {
+			c := text[i]
+			if c < utf8.RuneSelf {
+				if ('a' <= c && c <= 'z') || ('0' <= c && c <= '9') {
+					if dirty {
+						scratch = append(scratch, c)
+					}
+					i++
+					continue
+				}
+				if 'A' <= c && c <= 'Z' {
+					if !dirty {
+						scratch = append(scratch[:0], text[start:i]...)
+						dirty = true
+					}
+					scratch = append(scratch, c+'a'-'A')
+					i++
+					continue
+				}
+				break
+			}
+			r, sz := utf8.DecodeRuneInString(text[i:])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				break
+			}
+			if !dirty {
+				scratch = append(scratch[:0], text[start:i]...)
+				dirty = true
+			}
+			scratch = utf8.AppendRune(scratch, unicode.ToLower(r))
+			i += sz
+		}
+		w := text[start:i]
+		if dirty {
+			w = string(scratch)
+		}
+		if !fn(w) {
+			return
+		}
+	}
+}
+
+func isASCIIWordByte(c byte) bool {
+	return ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
 }
 
 // NumDocs returns the number of corpus documents seen at build time.

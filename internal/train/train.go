@@ -202,9 +202,12 @@ func batchGradients(enc *textenc.Encoder, cache TokenCache, triples []sampling.T
 func tripleGradient(enc *textenc.Encoder, cache TokenCache, t sampling.Triple,
 	margin float64, grads map[textenc.TokenID]vec.Vector) float64 {
 	sTok, pTok, nTok := cache[t.Seed], cache[t.Pos], cache[t.Neg]
-	us := enc.EncodeTokensRaw(sTok)
-	up := enc.EncodeTokensRaw(pTok)
-	un := enc.EncodeTokensRaw(nTok)
+	// The forward pass pools the float32 table in float64
+	// (EncodeTokensRaw64): the finite-difference gradient check needs loss
+	// resolution float32 partial sums cannot provide.
+	us := enc.EncodeTokensRaw64(sTok)
+	up := enc.EncodeTokensRaw64(pTok)
+	un := enc.EncodeTokensRaw64(nTok)
 	vs, nvs := normalized(enc, us)
 	vp, nvp := normalized(enc, up)
 	vn, nvn := normalized(enc, un)
@@ -291,15 +294,18 @@ func scatter(enc *textenc.Encoder, ids []textenc.TokenID, gDoc vec.Vector,
 
 // adam holds the optimiser state for the embedding table: first and second
 // moment estimates per parameter, updated lazily per touched row with a
-// per-row timestep (standard "lazy Adam" for sparse gradients).
+// per-row timestep (standard "lazy Adam" for sparse gradients). The
+// weights live in float32; moments and the update arithmetic stay in
+// float64, with one rounding when the new weight is stored — mixed
+// precision in the usual sense, so tiny gradients still move the moments.
 type adam struct {
 	cfg   Config
-	table *vec.Matrix
+	table *vec.Matrix32
 	m, v  *vec.Matrix
 	tRow  []int // per-row step count for bias correction
 }
 
-func newAdam(table *vec.Matrix, cfg Config) *adam {
+func newAdam(table *vec.Matrix32, cfg Config) *adam {
 	return &adam{
 		cfg:   cfg,
 		table: table,
@@ -324,19 +330,19 @@ func (a *adam) step(grads map[textenc.TokenID]vec.Vector) {
 			vRow[j] = c.Beta2*vRow[j] + (1-c.Beta2)*gj*gj
 			mHat := mRow[j] / bc1
 			vHat := vRow[j] / bc2
-			w[j] -= c.LearningRate * mHat / (math.Sqrt(vHat) + c.Epsilon)
+			w[j] = float32(float64(w[j]) - c.LearningRate*mHat/(math.Sqrt(vHat)+c.Epsilon))
 		}
 	}
 }
 
 // EmbedAll computes the fine-tuned representation of every paper in cache,
 // in parallel. The result E is the embedding set used by the PG-Index.
-func EmbedAll(enc *textenc.Encoder, cache TokenCache) map[hetgraph.NodeID]vec.Vector {
+func EmbedAll(enc *textenc.Encoder, cache TokenCache) map[hetgraph.NodeID]vec.Vec32 {
 	ids := make([]hetgraph.NodeID, 0, len(cache))
 	for id := range cache {
 		ids = append(ids, id)
 	}
-	out := make(map[hetgraph.NodeID]vec.Vector, len(ids))
+	out := make(map[hetgraph.NodeID]vec.Vec32, len(ids))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
@@ -353,7 +359,7 @@ func EmbedAll(enc *textenc.Encoder, cache TokenCache) map[hetgraph.NodeID]vec.Ve
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			local := make(map[hetgraph.NodeID]vec.Vector, hi-lo)
+			local := make(map[hetgraph.NodeID]vec.Vec32, hi-lo)
 			for _, id := range ids[lo:hi] {
 				local[id] = enc.EncodeTokens(cache[id])
 			}

@@ -120,16 +120,10 @@ func TestTripleGradientNumerical(t *testing.T) {
 	tr := sampling.Triple{Seed: papers[0], Pos: papers[3], Neg: papers[5]}
 	const margin = 1.0
 
-	loss := func() float64 {
-		vs := enc.EncodeTokens(cache[tr.Seed])
-		vp := enc.EncodeTokens(cache[tr.Pos])
-		vn := enc.EncodeTokens(cache[tr.Neg])
-		l := vs.L2(vp) - vs.L2(vn) + margin
-		if l < 0 {
-			return 0
-		}
-		return l
-	}
+	// The loss is recomputed through the trainer's float64 forward path
+	// (EncodeTokensRaw64): finite differences need more resolution than the
+	// float32 serving encode provides.
+	loss := func() float64 { return tripleLoss64(enc, cache, tr, margin) }
 	if loss() == 0 {
 		t.Skip("fixture triple has zero loss; gradient everywhere zero")
 	}
@@ -146,12 +140,16 @@ func TestTripleGradientNumerical(t *testing.T) {
 		row := enc.Emb.Row(int(id))
 		for j := 0; j < len(row); j += 5 { // sample dimensions
 			orig := row[j]
-			row[j] = orig + h
+			// The table is float32, so w±h rounds; divide by the step the
+			// weights actually took, not the nominal 2h.
+			row[j] = float32(float64(orig) + h)
+			hp := float64(row[j]) - float64(orig)
 			lp := loss()
-			row[j] = orig - h
+			row[j] = float32(float64(orig) - h)
+			hm := float64(orig) - float64(row[j])
 			lm := loss()
 			row[j] = orig
-			num := (lp - lm) / (2 * h)
+			num := (lp - lm) / (hp + hm)
 			if math.Abs(num-gv[j]) > 1e-4*(1+math.Abs(num)) {
 				t.Fatalf("token %d dim %d: analytic %v, numeric %v", id, j, gv[j], num)
 			}
@@ -161,6 +159,25 @@ func TestTripleGradientNumerical(t *testing.T) {
 	if checked < 10 {
 		t.Fatalf("only %d parameters checked", checked)
 	}
+}
+
+// tripleLoss64 recomputes the triplet loss exactly as tripleGradient's
+// forward pass does: float64 pooling over the float32 table, float64
+// normalisation.
+func tripleLoss64(enc *textenc.Encoder, cache TokenCache, tr sampling.Triple, margin float64) float64 {
+	norm := func(ids []textenc.TokenID) vec.Vector {
+		u := enc.EncodeTokensRaw64(ids)
+		if n := u.Norm(); enc.Normalize && n != 0 {
+			u.Scale(1 / n)
+		}
+		return u
+	}
+	vs, vp, vn := norm(cache[tr.Seed]), norm(cache[tr.Pos]), norm(cache[tr.Neg])
+	l := vs.L2(vp) - vs.L2(vn) + margin
+	if l < 0 {
+		return 0
+	}
+	return l
 }
 
 func TestTripleGradientZeroWhenSatisfied(t *testing.T) {
@@ -202,7 +219,7 @@ func TestConfigDefaults(t *testing.T) {
 }
 
 func TestAdamStepMovesAgainstGradient(t *testing.T) {
-	table := vec.NewMatrix(2, 3)
+	table := vec.NewMatrix32(2, 3)
 	opt := newAdam(table, Config{}.withDefaults())
 	g := map[textenc.TokenID]vec.Vector{0: {1, -1, 0}}
 	opt.step(g)
@@ -232,16 +249,7 @@ func TestTripleGradientNumericalMaxPooling(t *testing.T) {
 	tr := sampling.Triple{Seed: papers[0], Pos: papers[3], Neg: papers[5]}
 	const margin = 1.0
 
-	loss := func() float64 {
-		vs := enc.EncodeTokens(cache[tr.Seed])
-		vp := enc.EncodeTokens(cache[tr.Pos])
-		vn := enc.EncodeTokens(cache[tr.Neg])
-		l := vs.L2(vp) - vs.L2(vn) + margin
-		if l < 0 {
-			return 0
-		}
-		return l
-	}
+	loss := func() float64 { return tripleLoss64(enc, cache, tr, margin) }
 	if loss() == 0 {
 		t.Skip("fixture triple has zero loss under max pooling")
 	}
@@ -257,12 +265,14 @@ func TestTripleGradientNumericalMaxPooling(t *testing.T) {
 				continue // not the argmax of dimension j: sub-gradient zero
 			}
 			orig := row[j]
-			row[j] = orig + h
+			row[j] = float32(float64(orig) + h)
+			hp := float64(row[j]) - float64(orig)
 			lp := loss()
-			row[j] = orig - h
+			row[j] = float32(float64(orig) - h)
+			hm := float64(orig) - float64(row[j])
 			lm := loss()
 			row[j] = orig
-			num := (lp - lm) / (2 * h)
+			num := (lp - lm) / (hp + hm)
 			if diff := num - gv[j]; diff > 1e-4 || diff < -1e-4 {
 				t.Fatalf("token %d dim %d: analytic %v, numeric %v", id, j, gv[j], num)
 			}

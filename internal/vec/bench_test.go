@@ -1,0 +1,87 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+var (
+	sinkF32 float32
+	sinkF64 float64
+	sinkI32 int32
+)
+
+func benchVecs(n int) (Vector, Vector, []float32, []float32, []int8, []int8) {
+	rng := rand.New(rand.NewSource(int64(n)))
+	a64, b64 := New(n), New(n)
+	a32, b32 := make([]float32, n), make([]float32, n)
+	ai, bi := make([]int8, n), make([]int8, n)
+	for i := 0; i < n; i++ {
+		a64[i], b64[i] = rng.NormFloat64(), rng.NormFloat64()
+		a32[i], b32[i] = float32(a64[i]), float32(b64[i])
+		ai[i], bi[i] = int8(rng.Intn(255)-127), int8(rng.Intn(255)-127)
+	}
+	return a64, b64, a32, b32, ai, bi
+}
+
+func benchSizes(b *testing.B, f func(b *testing.B, n int)) {
+	for _, n := range []int{64, 128, 256} {
+		b.Run(map[int]string{64: "64", 128: "128", 256: "256"}[n], func(b *testing.B) { f(b, n) })
+	}
+}
+
+func BenchmarkDot64(b *testing.B) {
+	benchSizes(b, func(b *testing.B, n int) {
+		a64, b64, _, _, _, _ := benchVecs(n)
+		b.SetBytes(int64(2 * 8 * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkF64 = a64.Dot(b64)
+		}
+	})
+}
+
+func BenchmarkDot32(b *testing.B) {
+	benchSizes(b, func(b *testing.B, n int) {
+		_, _, a32, b32, _, _ := benchVecs(n)
+		b.SetBytes(int64(2 * 4 * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkF32 = Dot32(a32, b32)
+		}
+	})
+}
+
+func BenchmarkDotInt8(b *testing.B) {
+	benchSizes(b, func(b *testing.B, n int) {
+		_, _, _, _, ai, bi := benchVecs(n)
+		b.SetBytes(int64(2 * 1 * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkI32 = DotInt8(ai, bi)
+		}
+	})
+}
+
+func BenchmarkL2Sq32(b *testing.B) {
+	benchSizes(b, func(b *testing.B, n int) {
+		_, _, a32, b32, _, _ := benchVecs(n)
+		b.SetBytes(int64(2 * 4 * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkF32 = L2Sq32(a32, b32)
+		}
+	})
+}
+
+func BenchmarkAxpy32(b *testing.B) {
+	benchSizes(b, func(b *testing.B, n int) {
+		_, _, a32, b32, _, _ := benchVecs(n)
+		dst := append([]float32(nil), a32...)
+		b.SetBytes(int64(3 * 4 * n))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Axpy32(dst, 0.5, b32)
+		}
+	})
+}

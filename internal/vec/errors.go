@@ -1,0 +1,33 @@
+package vec
+
+import "fmt"
+
+// ShapeError reports an invalid or mismatched matrix/vector shape: a
+// negative dimension in a constructor, or mismatched lengths in a kernel.
+// NewMatrix and NewMatrix32 panic with it; NewMatrixErr and
+// NewMatrix32Err return it, for callers — snapshot loaders, servers
+// validating untrusted dimensions — that must recover instead of crash.
+type ShapeError struct {
+	Op         string // operation that rejected the shape
+	Rows, Cols int    // the offending pair (rows x cols, or the two lengths)
+}
+
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("vec: %s: invalid shape %dx%d", e.Op, e.Rows, e.Cols)
+}
+
+// IndexError reports an out-of-range row or element access on a matrix.
+// The panicking fast accessors (Row, At) use it as their panic value; the
+// checked variants (RowErr, AtErr) return it.
+type IndexError struct {
+	Op         string // accessor that rejected the index
+	I, J       int    // requested row and column (J is -1 for row access)
+	Rows, Cols int    // matrix shape
+}
+
+func (e *IndexError) Error() string {
+	if e.J < 0 {
+		return fmt.Sprintf("vec: %s: row %d out of range for %dx%d matrix", e.Op, e.I, e.Rows, e.Cols)
+	}
+	return fmt.Sprintf("vec: %s: element (%d,%d) out of range for %dx%d matrix", e.Op, e.I, e.J, e.Rows, e.Cols)
+}

@@ -1,0 +1,118 @@
+package vec
+
+import "math/rand"
+
+// Matrix32 is a dense row-major float32 matrix backed by one contiguous
+// allocation — no per-row slice headers, no pointer chasing. It is the
+// storage type of the PG-Index embedding block and the encoder's token
+// table: row views share the backing array, so handing a row to a caller
+// costs nothing, and a full-matrix scan walks memory linearly.
+//
+// Like Matrix, the hot accessors (Row, At, Set) panic on misuse; the
+// *Err variants return typed errors for untrusted shapes.
+type Matrix32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix32 returns a zero matrix of the given shape. It panics with a
+// *ShapeError on a negative dimension; use NewMatrix32Err to recover.
+func NewMatrix32(rows, cols int) *Matrix32 {
+	m, err := NewMatrix32Err(rows, cols)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewMatrix32Err is NewMatrix32 returning a typed error instead of
+// panicking. Zero-sized shapes (0xN, Nx0) are valid.
+func NewMatrix32Err(rows, cols int) (*Matrix32, error) {
+	if rows < 0 || cols < 0 {
+		return nil, &ShapeError{Op: "NewMatrix32", Rows: rows, Cols: cols}
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}, nil
+}
+
+// Row returns row i as a Vec32 sharing storage with m. It panics with a
+// *IndexError when i is out of range; use RowErr to recover.
+func (m *Matrix32) Row(i int) Vec32 {
+	if i < 0 || i >= m.Rows {
+		panic(&IndexError{Op: "Row", I: i, J: -1, Rows: m.Rows, Cols: m.Cols})
+	}
+	return Vec32(m.Data[i*m.Cols : (i+1)*m.Cols])
+}
+
+// RowErr is Row returning a typed *IndexError instead of panicking.
+func (m *Matrix32) RowErr(i int) (Vec32, error) {
+	if i < 0 || i >= m.Rows {
+		return nil, &IndexError{Op: "RowErr", I: i, J: -1, Rows: m.Rows, Cols: m.Cols}
+	}
+	return Vec32(m.Data[i*m.Cols : (i+1)*m.Cols]), nil
+}
+
+// At returns the element at (i, j). Unchecked for speed.
+func (m *Matrix32) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// AtErr is At with bounds checking, returning a typed *IndexError.
+func (m *Matrix32) AtErr(i, j int) (float32, error) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		return 0, &IndexError{Op: "AtErr", I: i, J: j, Rows: m.Rows, Cols: m.Cols}
+	}
+	return m.Data[i*m.Cols+j], nil
+}
+
+// Set assigns the element at (i, j). Unchecked for speed.
+func (m *Matrix32) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix32) Clone() *Matrix32 {
+	c := NewMatrix32(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// AppendRow grows the matrix by one row, copying v. Existing row views
+// keep pointing at the previous backing array if growth reallocates; rows
+// are treated as immutable by every user of Matrix32, so stale views stay
+// value-correct.
+func (m *Matrix32) AppendRow(v []float32) {
+	if len(v) != m.Cols {
+		panic(&ShapeError{Op: "AppendRow", Rows: 1, Cols: len(v)})
+	}
+	m.Data = append(m.Data, v...)
+	m.Rows++
+}
+
+// FillGaussian fills m with N(0, sigma²) samples from rng, drawn in
+// float64 and rounded once — the same stream a float64 Matrix would see.
+func (m *Matrix32) FillGaussian(rng *rand.Rand, sigma float64) {
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * sigma)
+	}
+}
+
+// Float64 returns the matrix contents widened to []float64, row-major —
+// the persistence format of the encoder table (float32→float64 is exact,
+// so a round trip reproduces the matrix bit for bit).
+func (m *Matrix32) Float64() []float64 {
+	out := make([]float64, len(m.Data))
+	for i, x := range m.Data {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Matrix32FromFloat64 builds a Matrix32 from row-major float64 data,
+// rounding each component once. It returns a *ShapeError when the data
+// length does not match rows*cols.
+func Matrix32FromFloat64(rows, cols int, data []float64) (*Matrix32, error) {
+	if rows < 0 || cols < 0 || len(data) != rows*cols {
+		return nil, &ShapeError{Op: "Matrix32FromFloat64", Rows: rows, Cols: cols}
+	}
+	m := &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, len(data))}
+	for i, x := range data {
+		m.Data[i] = float32(x)
+	}
+	return m, nil
+}

@@ -1,0 +1,168 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec32 is a dense float32 vector — the storage type of document
+// representations throughout the online system. It mirrors Vector's
+// method set on top of the unrolled kernels of kernels32.go; callers may
+// index and slice a Vec32 directly, exactly as with Vector.
+type Vec32 []float32
+
+// New32 returns a zero float32 vector of dimension d.
+func New32(d int) Vec32 { return make(Vec32, d) }
+
+// ToVec32 converts a float64 vector to float32, rounding each component
+// once (round-to-nearest-even).
+func ToVec32(v Vector) Vec32 {
+	out := make(Vec32, len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+// Float64 converts v to a float64 Vector. Every float32 value is exactly
+// representable in float64, so the conversion is lossless and
+// ToVec32(v.Float64()) reproduces v bit for bit.
+func (v Vec32) Float64() Vector {
+	out := make(Vector, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Clone returns a deep copy of v.
+func (v Vec32) Clone() Vec32 {
+	c := make(Vec32, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dim returns the dimensionality of v.
+func (v Vec32) Dim() int { return len(v) }
+
+// Dot returns the inner product <v, w> (kernel accumulation order; see
+// kernels32.go). It panics if dimensions differ.
+func (v Vec32) Dot(w Vec32) float32 { return Dot32(v, w) }
+
+// Norm returns the Euclidean norm of v as float64.
+func (v Vec32) Norm() float64 { return Norm32(v) }
+
+// L2 returns the Euclidean distance between v and w as float64.
+func (v Vec32) L2(w Vec32) float64 { return L232(v, w) }
+
+// L2Sq returns the squared Euclidean distance between v and w.
+func (v Vec32) L2Sq(w Vec32) float32 { return L2Sq32(v, w) }
+
+// Cosine returns the cosine similarity between v and w, in [-1, 1].
+// Zero vectors have similarity 0 by convention.
+func (v Vec32) Cosine(w Vec32) float32 { return Cosine32(v, w) }
+
+// Add sets v = v + w in place and returns v.
+func (v Vec32) Add(w Vec32) Vec32 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vec: add of mismatched dims %d and %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+	return v
+}
+
+// Sub sets v = v - w in place and returns v.
+func (v Vec32) Sub(w Vec32) Vec32 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("vec: sub of mismatched dims %d and %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] -= w[i]
+	}
+	return v
+}
+
+// Scale sets v = a*v in place and returns v.
+func (v Vec32) Scale(a float32) Vec32 {
+	Scale32(v, a)
+	return v
+}
+
+// Axpy sets v = v + a*w in place and returns v.
+func (v Vec32) Axpy(a float32, w Vec32) Vec32 {
+	Axpy32(v, a, w)
+	return v
+}
+
+// Normalize scales v to unit L2 norm in place and returns v. A zero
+// vector is left unchanged. The reciprocal norm is formed in float64 and
+// rounded once, matching Vector.Normalize's structure.
+func (v Vec32) Normalize() Vec32 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(float32(1 / n))
+}
+
+// Zero resets every component of v to 0 and returns v.
+func (v Vec32) Zero() Vec32 {
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// Mean32 returns the component-wise mean of vs, accumulated in float64
+// for stability and rounded once per component. It panics if vs is empty.
+func Mean32(vs []Vec32) Vec32 {
+	if len(vs) == 0 {
+		panic("vec: mean of no vectors")
+	}
+	d := vs[0].Dim()
+	acc := make([]float64, d)
+	for _, v := range vs {
+		if len(v) != d {
+			panic(fmt.Sprintf("vec: mean of mismatched dims %d and %d", d, len(v)))
+		}
+		for j, x := range v {
+			acc[j] += float64(x)
+		}
+	}
+	out := make(Vec32, d)
+	inv := 1 / float64(len(vs))
+	for j, s := range acc {
+		out[j] = float32(s * inv)
+	}
+	return out
+}
+
+// Max32 returns the component-wise maximum of vs without aliasing its
+// inputs. It panics if vs is empty.
+func Max32(vs []Vec32) Vec32 {
+	if len(vs) == 0 {
+		panic("vec: max of no vectors")
+	}
+	m := vs[0].Clone()
+	for _, v := range vs[1:] {
+		for j, x := range v {
+			if x > m[j] {
+				m[j] = x
+			}
+		}
+	}
+	return m
+}
+
+// IsFinite32 reports whether every component of v is finite (no NaN or
+// Inf) — the sanity check quantization applies before coding a row.
+func IsFinite32(v []float32) bool {
+	for _, x := range v {
+		if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+			return false
+		}
+	}
+	return true
+}
