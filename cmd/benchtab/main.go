@@ -15,7 +15,11 @@
 // (-cluster-bench-out); it is excluded from "all" because it binds
 // listening sockets. The kernels experiment microbenchmarks the float64,
 // float32, and int8 distance/update kernels and writes BENCH_kernels.json
-// (-kernel-bench-out).
+// (-kernel-bench-out). The replication experiment measures follower
+// snapshot bootstrap, WAL catch-up throughput, steady-state write
+// propagation, and the replica read path, and writes
+// BENCH_replication.json (-replication-bench-out); like cluster, it
+// binds listening sockets and is excluded from "all".
 package main
 
 import (
@@ -32,11 +36,11 @@ import (
 // benchOut is the -bench-out flag: where -exp query writes its JSON.
 // clusterBenchOut and kernelBenchOut are the same for -exp cluster and
 // -exp kernels.
-var benchOut, clusterBenchOut, kernelBenchOut string
+var benchOut, clusterBenchOut, kernelBenchOut, replBenchOut string
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (table1..table6, fig5, fig7, fig8a..fig8d, coresearch, sig, query, cluster, kernels, all)")
+		exp     = flag.String("exp", "all", "experiment id (table1..table6, fig5, fig7, fig8a..fig8d, coresearch, sig, query, cluster, kernels, replication, all)")
 		papers  = flag.Int("papers", experiments.Default.Papers, "papers per dataset")
 		queries = flag.Int("queries", experiments.Default.Queries, "evaluation queries per dataset")
 		m       = flag.Int("m", experiments.Default.M, "top-m papers retrieved")
@@ -46,11 +50,13 @@ func main() {
 		bench   = flag.String("bench-out", "BENCH_query.json", "output file for the query benchmark (-exp query)")
 		cbench  = flag.String("cluster-bench-out", "BENCH_cluster.json", "output file for the cluster benchmark (-exp cluster)")
 		kbench  = flag.String("kernel-bench-out", "BENCH_kernels.json", "output file for the kernel microbenchmarks (-exp kernels)")
+		rbench  = flag.String("replication-bench-out", "BENCH_replication.json", "output file for the replication benchmark (-exp replication)")
 	)
 	flag.Parse()
 	benchOut = *bench
 	clusterBenchOut = *cbench
 	kernelBenchOut = *kbench
+	replBenchOut = *rbench
 
 	sc := experiments.Scale{
 		Papers: *papers, Queries: *queries, M: *m, N: *n, Dim: *dim, Seed: *seed,
@@ -141,6 +147,13 @@ func run(id string, sc experiments.Scale) (string, error) {
 		}
 		return experiments.FormatKernelBench(rep) +
 			fmt.Sprintf("[wrote %s]\n", kernelBenchOut), nil
+	case "replication":
+		rep := experiments.RunReplBench(sc)
+		if err := writeBenchJSON(replBenchOut, rep); err != nil {
+			return "", err
+		}
+		return experiments.FormatReplBench(rep) +
+			fmt.Sprintf("[wrote %s]\n", replBenchOut), nil
 	default:
 		return "", fmt.Errorf("unknown experiment %q", id)
 	}

@@ -23,13 +23,17 @@
 //
 // The -role flag selects the process's place in a sharded topology:
 //
-//	single  (default) the whole corpus in one process, as above
-//	shard   same build, but also serves the internal /shard/papers and
-//	        /shard/experts partial-list API for its slice of the corpus
-//	        (-shards total, -shard-id this one)
-//	router  no corpus: scatter-gathers /experts and /papers across the
-//	        shard replicas given by -replicas, with retries, hedging and
-//	        replica health ejection
+//	single    (default) the whole corpus in one process, as above
+//	shard     same build, but also serves the internal /shard/papers and
+//	          /shard/experts partial-list API for its slice of the corpus
+//	          (-shards total, -shard-id this one)
+//	follower  read replica: bootstraps from the -leader node's snapshot,
+//	          tails its WAL (resumable, log-before-apply), serves reads
+//	          once lag <= -max-replication-lag, refuses writes until
+//	          promoted via POST /replication/promote
+//	router    no corpus: scatter-gathers /experts and /papers across the
+//	          shard replicas given by -replicas, with retries, hedging and
+//	          replica health ejection
 //
 // Usage:
 //
@@ -84,9 +88,13 @@ func main() {
 		traceSlowest = flag.Int("trace-slowest", 32, "tail sampling: always keep a trace ranking among the N slowest retained (negative disables the rule)")
 		slowQuery    = flag.Duration("slow-query", 0, "log any request at least this slow with its trace id (0 disables)")
 
-		role         = flag.String("role", "single", "topology role: single, shard, or router")
+		role         = flag.String("role", "single", "topology role: single, shard, follower, or router")
 		shards       = flag.Int("shards", 0, "total shard count of the topology (role shard)")
 		shardID      = flag.Int("shard-id", 0, "this shard's index in [0, shards) (role shard)")
+		leaderURL    = flag.String("leader", "", "leader base URL to replicate from, e.g. http://host:8080 (role follower)")
+		maxLag       = flag.Uint64("max-replication-lag", 0, "largest lag (in WAL sequences) at which a follower still reports ready (role follower)")
+		replPoll     = flag.Duration("replication-poll", 200*time.Millisecond, "tail poll interval once caught up (role follower)")
+		followerID   = flag.String("follower-id", "", "identity reported to the leader for low-water tracking; default hostname-pid (role follower)")
 		replicas     = flag.String("replicas", "", "shard replica addresses: shards comma-separated, replicas of one shard separated by '|' (role router)")
 		hedgeAfter   = flag.Duration("hedge-after", 0, "hedge a slow shard sub-request to another replica after this delay; 0 derives it from the observed p99, negative disables (role router)")
 		probeEvery   = flag.Duration("probe-interval", 2*time.Second, "health-probe period for ejected replicas (role router)")
@@ -137,7 +145,7 @@ func main() {
 	logger.Info("listening", "addr", *addr, "role", *role, "ready", false)
 
 	switch *role {
-	case "single", "shard":
+	case "single", "shard", "follower":
 	case "router":
 		// The router holds no corpus: skip the whole offline pipeline and
 		// serve scatter-gather over the configured shard replicas.
@@ -177,12 +185,104 @@ func main() {
 		logger.Info("shutdown_complete")
 		return
 	default:
-		fail(fmt.Errorf("unknown -role %q (want single, shard, or router)", *role))
+		fail(fmt.Errorf("unknown -role %q (want single, shard, follower, or router)", *role))
 	}
 
 	g, err := cli.LoadGraph(*graphFile, *preset, *papers)
 	if err != nil {
 		fail(err)
+	}
+
+	if *role == "follower" {
+		// A follower holds no authority over the corpus: it bootstraps
+		// from the leader's snapshot, tails the leader's WAL, and serves
+		// reads from the replicated engine. Writes are refused until
+		// POST /replication/promote.
+		if *leaderURL == "" {
+			fail(fmt.Errorf("-role follower requires -leader"))
+		}
+		if *dataDir == "" {
+			fail(fmt.Errorf("-role follower requires -data-dir"))
+		}
+		obs.RegisterReplication(reg)
+		fo, err := core.OpenFollower(*dataDir, g, *leaderURL, core.FollowerOptions{
+			ID:           *followerID,
+			PollInterval: *replPoll,
+			MaxLag:       *maxLag,
+			Sync:         syncPolicy,
+			SyncEvery:    *fsyncEvery,
+			SegmentBytes: *walSegBytes,
+			Metrics:      reg,
+			Logger:       logger,
+		})
+		if err != nil {
+			fail(err)
+		}
+		engine := fo.Engine()
+		if *queryCache > 0 {
+			engine.EnableQueryCache(core.CacheConfig{MaxEntries: *queryCache, TTL: *queryTTL})
+		}
+		srv := serve.New(engine)
+		srv.Log = logger
+		srv.QueryTimeout = *queryTO
+		srv.MaxInFlight = *maxInflight
+		srv.Traces = newTraceStore(*traceCap, *traceSlowest, *traceSample, reg)
+		srv.SlowQuery = *slowQuery
+		if *enablePprof {
+			srv.EnablePprof()
+		}
+		if *shards > 0 {
+			// Follower of a shard server: same shard API, replicated engine.
+			idxCfg := pgindex.DefaultConfig()
+			idxCfg.Seed = *seed
+			se, err := cluster.NewShardEngine(engine, cluster.ShardConfig{
+				ID: *shardID, Of: *shards, Index: idxCfg, UsePGIndex: true,
+			})
+			if err != nil {
+				fail(err)
+			}
+			cluster.MountFollowerShard(srv, se, fo)
+		} else {
+			srv.SetTopology(serve.Topology{Role: "follower"})
+			srv.ReadyProbe = func() (bool, string) {
+				if fo.Ready() {
+					return true, ""
+				}
+				return false, "replication_lag"
+			}
+			srv.DenyWrites("replication follower serves reads only; write to the leader")
+		}
+		serve.MountReplication(srv, fo.Store(), fo)
+		fo.Start()
+		if *snapInterval > 0 {
+			fo.Store().StartSnapshotLoop(*snapInterval)
+		}
+		gate.Install(srv)
+		srv.SetReady(true) // actual readiness still gated by ReadyProbe (lag)
+		logger.Info("serving", "addr", *addr, "role", "follower",
+			"leader", *leaderURL, "max_lag", *maxLag, "applied", fo.Store().LastSeq())
+		select {
+		case err = <-servErr:
+		case <-ctx.Done():
+			srv.SetReady(false)
+			err = <-servErr
+		}
+		if err != nil {
+			logger.Error("listener_failed", "err", err)
+		}
+		if cerr := fo.Close(); cerr != nil {
+			logger.Error("follower_close_failed", "err", cerr)
+			if err == nil {
+				err = cerr
+			}
+		} else {
+			logger.Info("follower_closed", "dir", *dataDir)
+		}
+		logger.Info("shutdown_complete")
+		if err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	build := func() (*core.Engine, error) {
@@ -288,6 +388,13 @@ func main() {
 		cluster.MountShard(srv, se)
 		logger.Info("shard_mounted", "shard_id", *shardID, "shards", *shards,
 			"owned_papers", se.NumOwned())
+	}
+	if store != nil {
+		// A durable node can lead: expose the replication surface so
+		// followers bootstrap from its snapshot and tail its WAL.
+		obs.RegisterReplication(reg)
+		serve.MountReplication(srv, store, nil)
+		logger.Info("replication_mounted", "epoch", store.Epoch(), "last_seq", store.LastSeq())
 	}
 	gate.Install(srv)
 	srv.SetReady(true)

@@ -11,10 +11,13 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"expertfind/internal/core"
 	"expertfind/internal/dataset"
+	"expertfind/internal/hetgraph"
 	"expertfind/internal/obs"
 	"expertfind/internal/serve"
 	"expertfind/internal/ta"
@@ -279,5 +282,144 @@ func TestRouterHealthTopology(t *testing.T) {
 	}
 	if sh.Role != "shard" || sh.ShardID != 1 || sh.Shards != 2 || sh.OwnedPapers <= 0 {
 		t.Fatalf("shard healthz topology: %+v", sh.Topology)
+	}
+}
+
+// addEquivPapers applies n deterministic updates starting at index
+// start; the same call against any engine over the same base corpus
+// produces bit-identical state.
+func addEquivPapers(t *testing.T, eng *core.Engine, start, n int) {
+	t.Helper()
+	authors := eng.Graph().NodesOfType(hetgraph.Author)
+	for i := start; i < start+n; i++ {
+		_, err := eng.AddPaper(core.NewPaper{
+			Text: fmt.Sprintf("replicated paper %d on expert retrieval", i),
+			Authors: []hetgraph.NodeID{
+				authors[i%len(authors)], authors[(i*5+2)%len(authors)],
+			},
+		})
+		if err != nil {
+			t.Fatalf("add paper %d: %v", i, err)
+		}
+	}
+}
+
+// TestFollowerReplicaMatchesSingleNode slots a WAL-shipping follower
+// into a router replica set next to its leader: one shard, two replicas,
+// one of them replicated rather than locally written. After catch-up
+// every routed query — whichever replica serves it — must match the
+// single-node ranking bit for bit, and the follower must actually have
+// served some of the traffic.
+func TestFollowerReplicaMatchesSingleNode(t *testing.T) {
+	const papers = 150
+	ds := dataset.Generate(dataset.AminerSim(papers))
+	reg := obs.NewRegistry()
+	store, err := core.OpenStore(t.TempDir(), ds.Graph,
+		func() (*core.Engine, error) {
+			return core.Build(ds.Graph, core.Options{
+				Dim: 16, Seed: 5, UsePGIndex: core.Bool(false), Metrics: reg,
+			})
+		}, core.StoreOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	leaderEng := store.Engine()
+	addEquivPapers(t, leaderEng, 0, 10)
+
+	// Leader replica: shard API plus the replication surface.
+	leaderSE, err := NewShardEngine(leaderEng, ShardConfig{ID: 0, Of: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderSrv := serve.New(leaderEng)
+	leaderSrv.SetReady(true)
+	MountShard(leaderSrv, leaderSE)
+	serve.MountReplication(leaderSrv, store, nil)
+	lts := httptest.NewServer(leaderSrv)
+	defer lts.Close()
+
+	// Follower replica: bootstraps from the leader's snapshot and tails
+	// its WAL over the wire, over an independent copy of the base graph.
+	fg := dataset.Generate(dataset.AminerSim(papers)).Graph
+	foReg := obs.NewRegistry()
+	obs.RegisterReplication(foReg)
+	fo, err := core.OpenFollower(t.TempDir(), fg, lts.URL, core.FollowerOptions{
+		ID: "replica-1", PollInterval: 10 * time.Millisecond, Metrics: foReg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fo.Close()
+	fo.Start()
+	deadline := time.Now().Add(20 * time.Second)
+	for !(fo.CaughtUp() && fo.Store().LastSeq() >= 10) {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never caught up: %+v", fo.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The shard view is carved out only after catch-up — shard serving
+	// state is a build-time snapshot on leaders and followers alike.
+	foSE, err := NewShardEngine(fo.Engine(), ShardConfig{ID: 0, Of: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foSE.NumOwned() != leaderSE.NumOwned() {
+		t.Fatalf("follower shard owns %d papers, leader owns %d — the 10 "+
+			"replicated updates are missing", foSE.NumOwned(), leaderSE.NumOwned())
+	}
+
+	foSrv := serve.New(fo.Engine())
+	foSrv.SetReady(true)
+	MountFollowerShard(foSrv, foSE, fo)
+	var followerHits atomic.Int64
+	fts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/shard/") {
+			followerHits.Add(1)
+		}
+		foSrv.ServeHTTP(w, r)
+	}))
+	defer fts.Close()
+
+	// The follower is a drop-in replica: same address list shape, no
+	// router-side configuration.
+	creg := obs.NewRegistry()
+	addrs := [][]string{{
+		strings.TrimPrefix(lts.URL, "http://"),
+		strings.TrimPrefix(fts.URL, "http://"),
+	}}
+	client, err := NewShardClient(addrs, ClientConfig{}, creg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := NewRouter(client, RouterConfig{}, creg, nil)
+	rs := httptest.NewServer(router)
+	defer rs.Close()
+
+	queries := ds.Queries(8, rand.New(rand.NewSource(3)))
+	const m, n = 40, 10
+	for _, q := range queries {
+		want, _, err := leaderEng.TopExperts(q.Text, m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := queryExperts(t, rs.URL, q.Text, m, n)
+		assertSameRanking(t, q.Text, got, want)
+	}
+	if followerHits.Load() == 0 {
+		t.Fatal("the follower replica never served a shard sub-request")
+	}
+
+	// The follower's lag-aware /readyz is what the router's re-admission
+	// probe reads; caught up, it must say 200.
+	resp, err := http.Get(fts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("caught-up follower /readyz = %d, want 200", resp.StatusCode)
 	}
 }

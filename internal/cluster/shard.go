@@ -41,6 +41,33 @@ func MountShard(srv *serve.Server, se *ShardEngine) {
 	})
 }
 
+// MountFollowerShard exposes the shard API on a replication follower,
+// making it a drop-in member of a router replica set: same /shard/*
+// routes, same wire shapes, but the engine underneath is replicated
+// from a leader rather than locally written. The differences are all
+// lifecycle — /healthz reports role "follower", /readyz stays 503
+// (status "replication_lag") until the follower's lag is within its
+// bound, and /add refuses writes until promotion — and the router needs
+// none of them spelled out: its ejection/re-admission loop already
+// keys off /readyz, so a lagging follower drains and a caught-up one
+// re-admits with zero router changes.
+func MountFollowerShard(srv *serve.Server, se *ShardEngine, fo *core.Follower) {
+	MountShard(srv, se)
+	srv.SetTopology(serve.Topology{
+		Role:        "follower",
+		ShardID:     se.ID(),
+		Shards:      se.Of(),
+		OwnedPapers: se.NumOwned(),
+	})
+	srv.ReadyProbe = func() (bool, string) {
+		if fo.Ready() {
+			return true, ""
+		}
+		return false, "replication_lag"
+	}
+	srv.DenyWrites("replication follower serves reads only; write to the leader")
+}
+
 type shardAPI struct {
 	srv *serve.Server
 	se  *ShardEngine

@@ -46,7 +46,25 @@ type Store struct {
 
 	stopLoop chan struct{}
 	loopDone chan struct{}
+
+	// followers tracks the last sequence each live replication follower
+	// has applied, so Snapshot never truncates WAL records a follower
+	// still needs. Entries expire after followerTTL without a report — a
+	// dead follower must not pin the log forever.
+	fmu         sync.Mutex
+	followers   map[string]followerPos
+	followerTTL time.Duration
 }
+
+// followerPos is one follower's replication position as last reported.
+type followerPos struct {
+	applied uint64    // last WAL sequence the follower has applied
+	seen    time.Time // when it last reported
+}
+
+// DefaultFollowerTTL is how long a silent follower keeps holding back
+// WAL truncation before it is presumed dead.
+const DefaultFollowerTTL = 30 * time.Second
 
 // StoreOptions configures OpenStore. Zero values mean: SyncAlways,
 // 4 MiB WAL segments, the process-wide metrics registry, no logging.
@@ -62,6 +80,9 @@ type StoreOptions struct {
 	Metrics *obs.Registry
 	// Logger receives recovery progress lines (nil: silent).
 	Logger *obs.Logger
+	// FollowerTTL overrides how long a silent replication follower pins
+	// WAL truncation (zero: DefaultFollowerTTL).
+	FollowerTTL time.Duration
 }
 
 // RecoveryInfo reports what OpenStore found and did.
@@ -102,7 +123,11 @@ func OpenStore(dir string, g *hetgraph.Graph, build func() (*Engine, error), o S
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: open store: %w", err)
 	}
-	s := &Store{dir: dir, reg: reg, log: log}
+	s := &Store{dir: dir, reg: reg, log: log,
+		followers: make(map[string]followerPos), followerTTL: o.FollowerTTL}
+	if s.followerTTL <= 0 {
+		s.followerTTL = DefaultFollowerTTL
+	}
 	ctx, root := obs.StartSpan(obs.WithRegistry(context.Background(), reg), "recover")
 
 	// Phase 1: restore the checkpointed state.
@@ -226,7 +251,14 @@ func (s *Store) Snapshot() error {
 	if err := durable.AtomicWriteFile(path, buf.Bytes(), true); err != nil {
 		return err
 	}
-	if err := s.wal.TruncateThrough(seq); err != nil {
+	// Never truncate past a live follower: a follower that has applied
+	// through sequence L still needs L+1, so reclamation stops at
+	// min(snapshot seq, follower low-water).
+	trunc := seq
+	if lw, ok := s.FollowerLowWater(); ok && lw < trunc {
+		trunc = lw
+	}
+	if err := s.wal.TruncateThrough(trunc); err != nil {
 		return err
 	}
 	s.lastSnap = time.Now()
@@ -318,4 +350,91 @@ func b2f(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// newAttachedStore builds a Store around an engine and WAL a replication
+// follower has already assembled (snapshot fetched and loaded, log
+// opened at the right sequence). The WAL is NOT attached to the engine
+// as an update log — a follower records replicated sequences explicitly,
+// and only Promote wires the engine to log its own writes.
+func newAttachedStore(dir string, e *Engine, wal *durable.WAL, reg *obs.Registry, log *obs.Logger) *Store {
+	return &Store{
+		dir: dir, engine: e, wal: wal, reg: reg, log: log,
+		followers: make(map[string]followerPos), followerTTL: DefaultFollowerTTL,
+	}
+}
+
+// SnapshotPath returns the snapshot file's path inside the store.
+func (s *Store) SnapshotPath() string { return filepath.Join(s.dir, SnapshotFileName) }
+
+// LastSeq returns the WAL's most recent sequence (0 when empty).
+func (s *Store) LastSeq() uint64 { return s.wal.LastSeq() }
+
+// Epoch returns the store's persisted replication epoch.
+func (s *Store) Epoch() uint64 { return s.wal.Epoch() }
+
+// Fenced reports whether the store's WAL is fenced by a newer epoch.
+func (s *Store) Fenced() bool { return s.wal.Fenced() }
+
+// Fence deposes this store at the given (strictly newer) epoch; see
+// durable.WAL.Fence. A fenced leader rejects all further writes.
+func (s *Store) Fence(epoch uint64) error {
+	err := s.wal.Fence(epoch)
+	if err == nil {
+		s.reg.Counter("expertfind_replication_fences_total",
+			"Times this node's WAL was fenced by a newer replication epoch.").Inc()
+		s.setEpochGauge()
+		s.log.Info("store_fenced", "epoch", epoch)
+	}
+	return err
+}
+
+// ReadWALFrom streams this store's log from a sequence; see
+// durable.WAL.ReadFrom.
+func (s *Store) ReadWALFrom(from uint64) (*durable.WALIterator, error) {
+	return s.wal.ReadFrom(from)
+}
+
+// ObserveFollower records a follower's replication position: it has
+// applied every sequence up to and including applied. The report pins
+// WAL truncation (see Snapshot) until the follower goes silent for the
+// store's follower TTL.
+func (s *Store) ObserveFollower(id string, applied uint64) {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	s.followers[id] = followerPos{applied: applied, seen: time.Now()}
+}
+
+// FollowerLowWater returns the lowest applied sequence among live
+// followers, and whether any follower is live at all. Expired entries
+// are dropped as a side effect.
+func (s *Store) FollowerLowWater() (uint64, bool) {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	now := time.Now()
+	low, ok := uint64(0), false
+	for id, p := range s.followers {
+		if now.Sub(p.seen) > s.followerTTL {
+			delete(s.followers, id)
+			continue
+		}
+		if !ok || p.applied < low {
+			low, ok = p.applied, true
+		}
+	}
+	s.reg.Gauge("expertfind_replication_followers",
+		"Live replication followers tracked by this leader.").Set(float64(len(s.followers)))
+	if ok {
+		s.reg.Gauge("expertfind_replication_low_water_seq",
+			"Lowest WAL sequence applied by any live follower.").Set(float64(low))
+	}
+	return low, ok
+}
+
+// setEpochGauge publishes the replication epoch and fence state.
+func (s *Store) setEpochGauge() {
+	s.reg.Gauge("expertfind_replication_epoch",
+		"Persisted replication epoch of this node's WAL.").Set(float64(s.wal.Epoch()))
+	s.reg.Gauge("expertfind_replication_fenced",
+		"1 when this node's WAL is fenced by a newer epoch.").Set(b2f(s.wal.Fenced()))
 }

@@ -1,0 +1,94 @@
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Replication epochs fence the WAL's sequence space across leader
+// change-overs. Every data directory carries a monotonically increasing
+// epoch; promoting a follower bumps it, and any node observing a higher
+// epoch than its own knows it has been deposed: its appends (and the
+// tail stream it serves) must be rejected so a stale leader can never
+// extend a sequence range the new leader now owns.
+//
+// The epoch lives in a tiny self-checking file next to the WAL segments:
+//
+//	offset  size  field
+//	0       8     magic "EFEPOCH\x01"
+//	8       8     epoch (uint64, little-endian)
+//	16      1     flags (bit 0: fenced)
+//	17      4     CRC-32C over bytes 0..16 (uint32, little-endian)
+//
+// A missing file means epoch 0, not fenced — the state of every log
+// written before replication existed.
+
+// epochFileName is the epoch state file inside a WAL directory.
+const epochFileName = "epoch"
+
+var epochMagic = [8]byte{'E', 'F', 'E', 'P', 'O', 'C', 'H', 1}
+
+const epochFileSize = 21
+
+// FencedError reports an operation rejected because this node's WAL has
+// been fenced by a newer replication epoch: a follower was promoted and
+// now owns the sequence space, so the deposed node must not append (or
+// serve a tail stream) lest two histories diverge under the same
+// sequence numbers. Recovery is operational — re-provision the node as a
+// follower of the new leader — not a retry.
+type FencedError struct {
+	// Op names the rejected operation: "append", "tail", "fence".
+	Op string
+	// Epoch is the replication epoch this node is fenced at.
+	Epoch uint64
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("durable: %s rejected: WAL fenced at replication epoch %d (a newer leader exists)",
+		e.Op, e.Epoch)
+}
+
+// ErrCompacted reports a WAL read starting below the oldest record on
+// disk: the requested range was truncated into a snapshot. A replication
+// follower hitting this must re-bootstrap from the snapshot instead of
+// tailing.
+var ErrCompacted = errors.New("durable: requested WAL records already compacted into a snapshot")
+
+// loadEpoch reads the epoch file, returning (0, false) when absent.
+func loadEpoch(path string) (epoch uint64, fenced bool, err error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("durable: read epoch file: %w", err)
+	}
+	if len(b) != epochFileSize {
+		return 0, false, &CorruptError{Path: path, Offset: int64(len(b)),
+			Detail: "epoch file size", Err: ErrTruncated}
+	}
+	if [8]byte(b[0:8]) != epochMagic {
+		return 0, false, &CorruptError{Path: path, Offset: 0,
+			Detail: "epoch file magic", Err: ErrBadMagic}
+	}
+	if got := Checksum(b[0:17]); got != binary.LittleEndian.Uint32(b[17:21]) {
+		return 0, false, &CorruptError{Path: path, Offset: 17,
+			Detail: "epoch file checksum", Err: ErrChecksum}
+	}
+	return binary.LittleEndian.Uint64(b[8:16]), b[16]&1 != 0, nil
+}
+
+// writeEpoch persists the epoch state atomically and durably: a crash
+// leaves either the old epoch or the new one, never a torn file.
+func writeEpoch(path string, epoch uint64, fenced bool) error {
+	var b [epochFileSize]byte
+	copy(b[0:8], epochMagic[:])
+	binary.LittleEndian.PutUint64(b[8:16], epoch)
+	if fenced {
+		b[16] = 1
+	}
+	binary.LittleEndian.PutUint32(b[17:21], Checksum(b[0:17]))
+	return AtomicWriteFile(path, b[:], true)
+}

@@ -95,6 +95,12 @@ type WALOptions struct {
 	Sync SyncPolicy
 	// SyncEvery is the flush period under SyncInterval (default 50ms).
 	SyncEvery time.Duration
+	// InitialSeq is the sequence the first append receives when the log
+	// is brand new (no segments on disk). Zero means 1. A replication
+	// follower bootstrapping from a snapshot covering sequence S opens
+	// its log with InitialSeq S+1 so its records line up with the
+	// leader's. Ignored when segments already exist.
+	InitialSeq uint64
 }
 
 func (o WALOptions) withDefaults() WALOptions {
@@ -136,6 +142,10 @@ type WAL struct {
 	nextSeq  uint64
 	dirty    bool // records appended since the last fsync
 	closed   bool
+	// epoch and fenced are the persisted replication-epoch state (see
+	// epoch.go). A fenced log rejects every append with *FencedError.
+	epoch  uint64
+	fenced bool
 
 	stats ReplayStats
 
@@ -154,6 +164,10 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 		return nil, fmt.Errorf("durable: open WAL: %w", err)
 	}
 	w := &WAL{dir: dir, opts: opts, nextSeq: 1}
+	var err error
+	if w.epoch, w.fenced, err = loadEpoch(filepath.Join(dir, epochFileName)); err != nil {
+		return nil, err
+	}
 	segs, err := listSegments(dir)
 	if err != nil {
 		return nil, err
@@ -202,8 +216,13 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 		}
 		w.f, w.size, w.segFirst = f, st.Size(), seg.firstSeq
 		w.segRecs = int(w.nextSeq - seg.firstSeq)
-	} else if err := w.openSegmentLocked(); err != nil {
-		return nil, err
+	} else {
+		if opts.InitialSeq > 1 {
+			w.nextSeq = opts.InitialSeq
+		}
+		if err := w.openSegmentLocked(); err != nil {
+			return nil, err
+		}
 	}
 	if opts.Sync == SyncInterval {
 		w.stopSync = make(chan struct{})
@@ -232,25 +251,58 @@ func (w *WAL) Dir() string { return w.dir }
 // treated as not written: the caller should refuse the update rather
 // than acknowledge something the log may not hold.
 func (w *WAL) Append(payload []byte) (uint64, error) {
-	if int64(len(payload)) > MaxRecordBytes {
-		return 0, fmt.Errorf("durable: WAL record too large (%d bytes)", len(payload))
-	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return 0, ErrClosed
 	}
-	if w.size > 0 && w.size+recordHeaderSize+int64(len(payload)) > w.opts.SegmentBytes {
-		if err := w.rotateLocked(); err != nil {
-			return 0, err
-		}
+	if w.fenced {
+		return 0, &FencedError{Op: "append", Epoch: w.epoch}
 	}
 	seq := w.nextSeq
-	rec := encodeRecord(seq, payload)
+	if err := w.appendLocked(payload); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// AppendReplicated writes one record a follower received from its
+// leader's tail stream, keeping the leader's sequence number. seq must
+// be exactly the next sequence — replication delivers records in order
+// with no gaps, so anything else means the stream and the local log
+// have diverged and the follower must stop rather than fabricate
+// history. Fsync semantics match Append.
+func (w *WAL) AppendReplicated(seq uint64, payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.fenced {
+		return &FencedError{Op: "append", Epoch: w.epoch}
+	}
+	if seq != w.nextSeq {
+		return fmt.Errorf("durable: replicated append out of order: got seq %d, want %d", seq, w.nextSeq)
+	}
+	return w.appendLocked(payload)
+}
+
+// appendLocked writes the record for nextSeq and advances it. Caller
+// holds w.mu and has checked closed/fenced.
+func (w *WAL) appendLocked(payload []byte) error {
+	if int64(len(payload)) > MaxRecordBytes {
+		return fmt.Errorf("durable: WAL record too large (%d bytes)", len(payload))
+	}
+	if w.size > 0 && w.size+recordHeaderSize+int64(len(payload)) > w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	rec := encodeRecord(w.nextSeq, payload)
 	if _, err := w.f.Write(rec); err != nil {
 		// The segment may now hold a partial record; that is exactly the
 		// torn-tail case the next open truncates away.
-		return 0, fmt.Errorf("durable: WAL append: %w", err)
+		return fmt.Errorf("durable: WAL append: %w", err)
 	}
 	w.size += int64(len(rec))
 	w.segRecs++
@@ -258,12 +310,92 @@ func (w *WAL) Append(payload []byte) (uint64, error) {
 	switch w.opts.Sync {
 	case SyncAlways:
 		if err := w.f.Sync(); err != nil {
-			return 0, fmt.Errorf("durable: WAL fsync: %w", err)
+			return fmt.Errorf("durable: WAL fsync: %w", err)
 		}
 	case SyncInterval:
 		w.dirty = true
 	}
-	return seq, nil
+	return nil
+}
+
+// Epoch returns the persisted replication epoch (0 for a log that never
+// took part in replication).
+func (w *WAL) Epoch() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
+}
+
+// Fenced reports whether the log has been fenced by a newer epoch.
+func (w *WAL) Fenced() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fenced
+}
+
+// Fence marks the log deposed as of epoch, persistently: every later
+// append fails with *FencedError, across restarts too. epoch must
+// exceed the current epoch (re-fencing at the already-fenced epoch is a
+// no-op); fencing at or below the current epoch of an unfenced log is
+// refused — a stale fence request must not depose a current leader.
+func (w *WAL) Fence(epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if w.fenced && epoch <= w.epoch {
+		return nil // already fenced at least this hard
+	}
+	if epoch <= w.epoch {
+		return &FencedError{Op: "fence", Epoch: w.epoch}
+	}
+	if err := writeEpoch(filepath.Join(w.dir, epochFileName), epoch, true); err != nil {
+		return err
+	}
+	w.epoch, w.fenced = epoch, true
+	return nil
+}
+
+// BumpEpoch advances the epoch by one and clears any fence — the
+// promotion step: the node now owns the sequence space under the new
+// epoch. The new epoch is persisted before it takes effect.
+func (w *WAL) BumpEpoch() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, ErrClosed
+	}
+	next := w.epoch + 1
+	if err := writeEpoch(filepath.Join(w.dir, epochFileName), next, false); err != nil {
+		return 0, err
+	}
+	w.epoch, w.fenced = next, false
+	return next, nil
+}
+
+// AdoptEpoch raises the log to a leader's (strictly newer) epoch — the
+// follower step when a tail stream reports a higher epoch than the
+// follower has seen. Adopting the current epoch is a no-op; adopting a
+// LOWER epoch is refused with *FencedError, which is exactly how a
+// follower rejects a deposed leader's stream.
+func (w *WAL) AdoptEpoch(epoch uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	if epoch == w.epoch {
+		return nil
+	}
+	if epoch < w.epoch {
+		return &FencedError{Op: "tail", Epoch: w.epoch}
+	}
+	if err := writeEpoch(filepath.Join(w.dir, epochFileName), epoch, false); err != nil {
+		return err
+	}
+	w.epoch, w.fenced = epoch, false
+	return nil
 }
 
 // Sync forces an fsync of the active segment regardless of policy.

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"expertfind/internal/core"
+	"expertfind/internal/dataset"
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/obs"
+	"expertfind/internal/serve"
+)
+
+// ReplBenchReport is the payload of BENCH_replication.json: how fast a
+// WAL-shipping follower bootstraps from its leader's snapshot, chews
+// through a write backlog, and tracks new writes — plus whether the read
+// path pays anything for being served from a replica. Times are
+// milliseconds, measured on loopback HTTP.
+type ReplBenchReport struct {
+	Dataset string `json:"dataset"`
+	Papers  int    `json:"papers"`
+	Dim     int    `json:"dim"`
+
+	// Bootstrap: snapshot download + load + local WAL replay, ending with
+	// a serving engine (before any tailing).
+	BootstrapMs float64 `json:"bootstrap_ms"`
+
+	// Catch-up: the follower starts BacklogRecords behind and tails until
+	// it has applied all of them.
+	BacklogRecords   int     `json:"backlog_records"`
+	CatchUpMs        float64 `json:"catch_up_ms"`
+	CatchUpRecPerSec float64 `json:"catch_up_records_per_sec"`
+
+	// Steady state: one write at a time on the leader, each timed from
+	// the acknowledged append to the follower having applied it.
+	SteadyRecords    int     `json:"steady_records"`
+	PropagationP50Ms float64 `json:"propagation_p50_ms"`
+	PropagationP99Ms float64 `json:"propagation_p99_ms"`
+
+	// The same query set replayed against the leader and the caught-up
+	// follower — the replica read path should be indistinguishable.
+	QueriesReplayed  int     `json:"queries_replayed"`
+	LeaderQueryP50Ms float64 `json:"leader_query_p50_ms"`
+	FollowerQueryP50 float64 `json:"follower_query_p50_ms"`
+}
+
+// RunReplBench stands up a durable leader on loopback HTTP, writes a
+// backlog, then opens a follower against it and measures bootstrap,
+// catch-up throughput, steady-state propagation latency, and the
+// follower-vs-leader read path.
+func RunReplBench(sc Scale) ReplBenchReport {
+	ds := dataset.Generate(dataset.AminerSim(sc.Papers))
+	reg := obs.NewRegistry()
+	leaderDir, err := os.MkdirTemp("", "replbench-leader-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(leaderDir)
+	store, err := core.OpenStore(leaderDir, ds.Graph,
+		func() (*core.Engine, error) {
+			return core.Build(ds.Graph, core.Options{
+				Dim: sc.Dim, Seed: sc.Seed, UsePGIndex: core.Bool(false), Metrics: reg,
+			})
+		}, core.StoreOptions{Metrics: reg})
+	if err != nil {
+		panic(err)
+	}
+	defer store.Close()
+	leaderSrv := serve.New(store.Engine())
+	leaderSrv.SetReady(true)
+	serve.MountReplication(leaderSrv, store, nil)
+	leaderAddr, stopLeader := serveOnLoopback(leaderSrv)
+	defer stopLeader()
+
+	rep := ReplBenchReport{Dataset: "aminer-sim", Papers: sc.Papers, Dim: sc.Dim}
+
+	// The backlog the follower must chew through after bootstrapping.
+	authors := ds.Graph.NodesOfType(hetgraph.Author)
+	addOne := func(i int) uint64 {
+		_, err := store.Engine().AddPaper(core.NewPaper{
+			Text: fmt.Sprintf("replication bench paper %d on embedding cores", i),
+			Authors: []hetgraph.NodeID{
+				authors[i%len(authors)], authors[(i*7+3)%len(authors)],
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+		return store.Engine().LastUpdateSeq()
+	}
+	rep.BacklogRecords = 50
+	for i := 0; i < rep.BacklogRecords; i++ {
+		addOne(i)
+	}
+
+	followerDir, err := os.MkdirTemp("", "replbench-follower-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(followerDir)
+	fg := dataset.Generate(dataset.AminerSim(sc.Papers)).Graph
+	t0 := time.Now()
+	fo, err := core.OpenFollower(followerDir, fg, "http://"+leaderAddr, core.FollowerOptions{
+		ID: "bench-follower", PollInterval: 2 * time.Millisecond, Metrics: obs.NewRegistry(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer fo.Close()
+	rep.BootstrapMs = float64(time.Since(t0)) / float64(time.Millisecond)
+
+	waitApplied := func(seq uint64) {
+		deadline := time.Now().Add(2 * time.Minute)
+		for fo.Store().LastSeq() < seq {
+			if time.Now().After(deadline) {
+				panic(fmt.Sprintf("replbench: follower stuck below seq %d: %+v", seq, fo.Status()))
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	t1 := time.Now()
+	fo.Start()
+	waitApplied(uint64(rep.BacklogRecords))
+	catchUp := time.Since(t1)
+	rep.CatchUpMs = float64(catchUp) / float64(time.Millisecond)
+	if catchUp > 0 {
+		rep.CatchUpRecPerSec = float64(rep.BacklogRecords) / catchUp.Seconds()
+	}
+
+	// Steady state: acknowledged append -> applied on the follower.
+	rep.SteadyRecords = 30
+	prop := make([]time.Duration, 0, rep.SteadyRecords)
+	for i := 0; i < rep.SteadyRecords; i++ {
+		t2 := time.Now()
+		seq := addOne(rep.BacklogRecords + i)
+		waitApplied(seq)
+		prop = append(prop, time.Since(t2))
+	}
+	rep.PropagationP50Ms = durPercentile(prop, 0.50)
+	rep.PropagationP99Ms = durPercentile(prop, 0.99)
+
+	// Read path: the same queries against both nodes, interleaved so
+	// machine noise hits both sides equally.
+	foSrv := serve.New(fo.Engine())
+	foSrv.SetReady(true)
+	foAddr, stopFollower := serveOnLoopback(foSrv)
+	defer stopFollower()
+	queries := ds.Queries(sc.Queries, rand.New(rand.NewSource(sc.Seed)))
+	rep.QueriesReplayed = len(queries)
+	var onLeader, onFollower []time.Duration
+	for _, q := range queries { // warm both
+		timeExpertsQuery(leaderAddr, q.Text, sc.M, sc.N)
+		timeExpertsQuery(foAddr, q.Text, sc.M, sc.N)
+	}
+	for round := 0; round < 3; round++ {
+		for _, q := range queries {
+			onLeader = append(onLeader, timeExpertsQuery(leaderAddr, q.Text, sc.M, sc.N))
+			onFollower = append(onFollower, timeExpertsQuery(foAddr, q.Text, sc.M, sc.N))
+		}
+	}
+	rep.LeaderQueryP50Ms = durPercentile(onLeader, 0.50)
+	rep.FollowerQueryP50 = durPercentile(onFollower, 0.50)
+	return rep
+}
+
+// FormatReplBench renders the report as a human-readable table.
+func FormatReplBench(r ReplBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Replication benchmark — %s, %d papers, dim %d (loopback HTTP)\n",
+		r.Dataset, r.Papers, r.Dim)
+	fmt.Fprintf(&b, "%-34s %12.1f ms\n", "snapshot bootstrap", r.BootstrapMs)
+	fmt.Fprintf(&b, "%-34s %12.1f ms  (%d records, %.0f rec/s)\n",
+		"backlog catch-up", r.CatchUpMs, r.BacklogRecords, r.CatchUpRecPerSec)
+	fmt.Fprintf(&b, "%-34s %12.2f ms p50, %.2f ms p99  (%d records)\n",
+		"write propagation", r.PropagationP50Ms, r.PropagationP99Ms, r.SteadyRecords)
+	fmt.Fprintf(&b, "%-34s %12.3f ms p50 leader, %.3f ms p50 follower  (%d queries x3)\n",
+		"read path", r.LeaderQueryP50Ms, r.FollowerQueryP50, r.QueriesReplayed)
+	return b.String()
+}
+
+// WriteJSON writes the report as indented JSON (the
+// BENCH_replication.json format).
+func (r ReplBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

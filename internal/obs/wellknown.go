@@ -72,3 +72,37 @@ func RegisterCluster(r *Registry) {
 	r.declare("expertfind_cluster_replicas_alive",
 		"Non-ejected replicas per shard.", gaugeKind, nil)
 }
+
+// RegisterReplication pre-declares the WAL-shipping replication metric
+// families — follower lag and position, leader-side follower tracking,
+// and epoch-fencing events — so they expose the right type and help
+// text before replication starts moving.
+func RegisterReplication(r *Registry) {
+	for name, help := range map[string]string{
+		"expertfind_replication_records_applied_total": "WAL records received from the leader and applied.",
+		"expertfind_replication_reconnects_total":      "Tail stream failures followed by a backoff and reconnect.",
+		"expertfind_replication_stream_tears_total":    "Tail streams cut mid-record (resumed from the applied prefix).",
+		"expertfind_replication_stream_errors_total":   "Tail streams aborted mid-flight by a read error.",
+		"expertfind_replication_fences_total":          "Times this node's WAL was fenced by a newer replication epoch.",
+		"expertfind_replication_promotions_total":      "Times this node was promoted from follower to leader.",
+		"expertfind_http_fenced_writes_total":          "Writes rejected because this node's WAL is fenced by a newer epoch.",
+	} {
+		r.Counter(name, help)
+	}
+	r.Gauge("expertfind_replication_lag_seq",
+		"WAL sequences this follower trails its leader by.")
+	r.Gauge("expertfind_replication_applied_seq",
+		"Last WAL sequence this follower has applied.")
+	r.Gauge("expertfind_replication_caught_up",
+		"1 when the follower has applied everything the leader acknowledged.")
+	r.Gauge("expertfind_replication_epoch",
+		"Persisted replication epoch of this node's WAL.")
+	r.Gauge("expertfind_replication_fenced",
+		"1 when this node's WAL is fenced by a newer epoch.")
+	r.Gauge("expertfind_replication_followers",
+		"Live replication followers tracked by this leader.")
+	r.Gauge("expertfind_replication_low_water_seq",
+		"Lowest WAL sequence applied by any live follower.")
+	r.Gauge("expertfind_replication_bootstrap_seconds",
+		"Duration of the most recent follower snapshot bootstrap.")
+}

@@ -50,11 +50,14 @@ func bootHandler() http.Handler {
 		w.Write([]byte("{\n  \"status\": \"booting\"\n}\n"))
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Booting is transient by definition; tell probes when to look again.
+		w.Header().Set("Retry-After", "1")
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		w.Write([]byte("{\n  \"status\": \"loading\"\n}\n"))
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, "engine not ready, still recovering", http.StatusServiceUnavailable)
 	})
 	return mux

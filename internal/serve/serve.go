@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"expertfind/internal/core"
+	"expertfind/internal/durable"
 	"expertfind/internal/hetgraph"
 	"expertfind/internal/obs"
 	"expertfind/internal/pgindex"
@@ -60,6 +61,13 @@ type Server struct {
 	// serving.
 	SlowQuery time.Duration
 
+	// ReadyProbe, when set, is consulted by /readyz after the boot gate:
+	// it returns whether the node should receive traffic and a short
+	// status word for the 503 body when it should not (e.g. a
+	// replication follower reports false, "replication_lag" until its
+	// lag is within bound). Set before serving.
+	ReadyProbe func() (ok bool, status string)
+
 	inflightQueries atomic.Int64
 	// topology is the /healthz identity block; zero value reports role
 	// "single". See SetTopology.
@@ -68,6 +76,9 @@ type Server struct {
 	// operator signals that recovery — engine load/build and WAL replay —
 	// is complete. See SetReady.
 	ready atomic.Bool
+	// denyWrites, when non-nil, is the reason /add refuses writes — a
+	// replication follower serves reads only until promoted.
+	denyWrites atomic.Pointer[string]
 }
 
 // New returns a server over a built engine with sensible bounds. The
@@ -113,6 +124,14 @@ func (s *Server) Handle(pattern string, h http.HandlerFunc) {
 // WriteJSON renders v as indented JSON with the server's buffered-encode
 // error handling, for handlers mounted via Handle.
 func (s *Server) WriteJSON(w http.ResponseWriter, v interface{}) { s.writeJSON(w, v) }
+
+// DenyWrites makes /add refuse updates with 503 + Retry-After and the
+// given reason — the state of a replication follower, whose only writes
+// come from its leader's log. AllowWrites (on promotion) reverses it.
+func (s *Server) DenyWrites(reason string) { s.denyWrites.Store(&reason) }
+
+// AllowWrites lifts DenyWrites.
+func (s *Server) AllowWrites() { s.denyWrites.Store(nil) }
 
 // SetReady flips the /readyz gate. Serve it false while booting —
 // building or loading the engine, replaying the WAL — so load
@@ -165,11 +184,7 @@ func (s *Server) acquireQuerySlot(w http.ResponseWriter) (release func(), ok boo
 		if cur >= int64(s.MaxInFlight) {
 			s.reg.Counter("expertfind_http_shed_total",
 				"Query requests shed because the in-flight limit was reached.").Inc()
-			retry := s.RetryAfter
-			if retry <= 0 {
-				retry = time.Second
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+			s.setRetryAfter(w)
 			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
 			return nil, false
 		}
@@ -177,6 +192,16 @@ func (s *Server) acquireQuerySlot(w http.ResponseWriter) (release func(), ok boo
 			return func() { s.inflightQueries.Add(-1) }, true
 		}
 	}
+}
+
+// setRetryAfter stamps the Retry-After hint every transient 503 carries,
+// rounded up to whole seconds as the header requires.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	retry := s.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 }
 
 // queryContext derives the handler context: the request's own (so client
@@ -405,8 +430,10 @@ type AddResponse struct {
 
 // handleAdd accepts one paper into the live engine. Status mapping:
 // 200 applied (and logged, when durability is on); 400 invalid
-// update; 503 not ready, or the write-ahead log refused the record —
-// the update was NOT applied and the client should retry.
+// update; 409 this node is fenced by a newer replication epoch — write
+// to the new leader instead; 503 not ready, writes denied (follower),
+// or the write-ahead log refused the record — the update was NOT
+// applied and the client should retry.
 func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -414,7 +441,13 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !s.ready.Load() {
+		s.setRetryAfter(w)
 		http.Error(w, "engine not ready, still recovering", http.StatusServiceUnavailable)
+		return
+	}
+	if reason := s.denyWrites.Load(); reason != nil {
+		s.setRetryAfter(w)
+		http.Error(w, *reason, http.StatusServiceUnavailable)
 		return
 	}
 	var req AddRequest
@@ -432,9 +465,18 @@ func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
 	})
 	var invalid *core.InvalidUpdateError
 	var logErr *core.UpdateLogError
+	var fenced *durable.FencedError
 	switch {
 	case errors.As(err, &invalid):
 		http.Error(w, invalid.Error(), http.StatusBadRequest)
+		return
+	case errors.As(err, &fenced):
+		// This node was deposed by a newer replication epoch: the write
+		// belongs on the new leader, and no amount of retrying here will
+		// ever apply it. 409, not 503 — the conflict is permanent.
+		s.reg.Counter("expertfind_http_fenced_writes_total",
+			"Writes rejected because this node's WAL is fenced by a newer epoch.").Inc()
+		http.Error(w, fenced.Error(), http.StatusConflict)
 		return
 	case errors.As(err, &logErr):
 		s.reg.Counter("expertfind_http_update_log_failures_total",
@@ -468,12 +510,27 @@ type ReadyResponse struct {
 // handleReady is the load-balancer gate, distinct from /healthz
 // (liveness): 503 until the engine is loaded/recovered and WAL replay
 // has finished, so a booting replica receives no traffic; 503 again
-// once shutdown begins, so connections drain away.
+// once shutdown begins, so connections drain away. A ReadyProbe can
+// impose further conditions — a replication follower stays 503 (status
+// "replication_lag") until its lag is within bound. Every 503 carries
+// Retry-After so probes know the condition is transient.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() {
+	status := "loading"
+	ready := s.ready.Load()
+	if ready && s.ReadyProbe != nil {
+		var ok bool
+		if ok, status = s.ReadyProbe(); !ok {
+			ready = false
+			if status == "" {
+				status = "loading"
+			}
+		}
+	}
+	if !ready {
+		s.setRetryAfter(w)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		w.Write([]byte("{\n  \"status\": \"loading\"\n}\n"))
+		fmt.Fprintf(w, "{\n  \"status\": %q\n}\n", status)
 		return
 	}
 	s.writeJSON(w, ReadyResponse{Status: "ready"})
