@@ -19,7 +19,11 @@
 // snapshot bootstrap, WAL catch-up throughput, steady-state write
 // propagation, and the replica read path, and writes
 // BENCH_replication.json (-replication-bench-out); like cluster, it
-// binds listening sockets and is excluded from "all".
+// binds listening sockets and is excluded from "all". The scale
+// experiment sweeps corpus sizes (-scale-sizes, default 10^4..10^6
+// papers), loading each snapshot with the columnar section mmap'd and
+// heap-decoded, and writes BENCH_scale.json (-scale-bench-out); it is
+// excluded from "all" because the large sizes take minutes to build.
 package main
 
 import (
@@ -35,8 +39,9 @@ import (
 
 // benchOut is the -bench-out flag: where -exp query writes its JSON.
 // clusterBenchOut and kernelBenchOut are the same for -exp cluster and
-// -exp kernels.
-var benchOut, clusterBenchOut, kernelBenchOut, replBenchOut string
+// -exp kernels; scaleBenchOut and scaleSizes configure -exp scale.
+var benchOut, clusterBenchOut, kernelBenchOut, replBenchOut, scaleBenchOut string
+var scaleSizes []int
 
 func main() {
 	var (
@@ -51,12 +56,20 @@ func main() {
 		cbench  = flag.String("cluster-bench-out", "BENCH_cluster.json", "output file for the cluster benchmark (-exp cluster)")
 		kbench  = flag.String("kernel-bench-out", "BENCH_kernels.json", "output file for the kernel microbenchmarks (-exp kernels)")
 		rbench  = flag.String("replication-bench-out", "BENCH_replication.json", "output file for the replication benchmark (-exp replication)")
+		sbench  = flag.String("scale-bench-out", "BENCH_scale.json", "output file for the scale benchmark (-exp scale)")
+		ssizes  = flag.String("scale-sizes", "10000,100000,1000000", "comma-separated corpus sizes for -exp scale")
 	)
 	flag.Parse()
 	benchOut = *bench
 	clusterBenchOut = *cbench
 	kernelBenchOut = *kbench
 	replBenchOut = *rbench
+	scaleBenchOut = *sbench
+	var err error
+	if scaleSizes, err = parseSizes(*ssizes); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
 
 	sc := experiments.Scale{
 		Papers: *papers, Queries: *queries, M: *m, N: *n, Dim: *dim, Seed: *seed,
@@ -154,6 +167,13 @@ func run(id string, sc experiments.Scale) (string, error) {
 		}
 		return experiments.FormatReplBench(rep) +
 			fmt.Sprintf("[wrote %s]\n", replBenchOut), nil
+	case "scale":
+		rep := experiments.RunScaleBench(sc, scaleSizes)
+		if err := writeBenchJSON(scaleBenchOut, rep); err != nil {
+			return "", err
+		}
+		return experiments.FormatScaleBench(rep) +
+			fmt.Sprintf("[wrote %s]\n", scaleBenchOut), nil
 	default:
 		return "", fmt.Errorf("unknown experiment %q", id)
 	}
@@ -162,6 +182,27 @@ func run(id string, sc experiments.Scale) (string, error) {
 // jsonReport is any benchmark report that can serialise itself.
 type jsonReport interface {
 	WriteJSON(w io.Writer) error
+}
+
+// parseSizes decodes the -scale-sizes grammar: positive comma-separated
+// corpus sizes.
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("-scale-sizes: bad size %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scale-sizes: no sizes given")
+	}
+	return out, nil
 }
 
 // writeBenchJSON writes a benchmark report to path.

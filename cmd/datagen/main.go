@@ -5,6 +5,18 @@
 // Usage:
 //
 //	datagen -preset aminer -papers 2000 -out aminer.json
+//	datagen -preset aminer -papers 1000000 -out big.json -shards 4
+//
+// Large corpora: generation is linear in -papers and logs progress to
+// stderr, so a 10^6-paper graph is a matter of tens of seconds and a
+// few GiB of JSON. Pair a large -out with -shards S to also write an
+// S-way paper partition to <out>.shards/ (one slice manifest per
+// shard, consumed by expertserve -role shard), and serve the result
+// with expertserve -mmap auto so the embedding matrix pages in from
+// the snapshot instead of occupying heap. -queries N writes N held-out
+// evaluation queries to <out>.queries.json. Both -queries and -shards
+// need -out — that is checked before generation starts, not after
+// minutes of work.
 package main
 
 import (
@@ -12,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"expertfind/internal/cluster"
 	"expertfind/internal/dataset"
@@ -23,11 +36,30 @@ func main() {
 		papers  = flag.Int("papers", 0, "number of papers (0 for the preset default)")
 		seed    = flag.Int64("seed", 0, "override the preset's random seed (0 keeps it)")
 		out     = flag.String("out", "", "output file (default stdout)")
-		queries = flag.Int("queries", 0, "also write this many evaluation queries to <out>.queries.json")
+		queries = flag.Int("queries", 0, "also write this many evaluation queries to <out>.queries.json (requires -out)")
 		qseed   = flag.Int64("qseed", 1, "random seed for query sampling")
 		shards  = flag.Int("shards", 0, "also write an S-way paper partition to <out>.shards/ (requires -out)")
 	)
 	flag.Parse()
+
+	// Validate the flag set before any generation work: a 10^6-paper
+	// run should not fail on a missing -out after the graph is built.
+	fail := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "datagen: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *papers < 0 {
+		fail("-papers must be >= 0, got %d", *papers)
+	}
+	if *queries < 0 || *shards < 0 {
+		fail("-queries and -shards must be >= 0")
+	}
+	if *queries > 0 && *out == "" {
+		fail("-queries requires -out (the queries land next to the graph file)")
+	}
+	if *shards > 0 && *out == "" {
+		fail("-shards requires -out (the partition lands in <out>.shards/)")
+	}
 
 	var cfg dataset.Config
 	switch *preset {
@@ -38,62 +70,61 @@ func main() {
 	case "acm":
 		cfg = dataset.ACMSim(*papers)
 	default:
-		fmt.Fprintf(os.Stderr, "datagen: unknown preset %q\n", *preset)
-		os.Exit(1)
+		fail("unknown preset %q (want aminer, dblp, or acm)", *preset)
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
 
+	fmt.Fprintf(os.Stderr, "generating %s (%d papers, seed %d)...\n",
+		cfg.Name, cfg.NumPapers, cfg.Seed)
+	t0 := time.Now()
 	ds := dataset.Generate(cfg)
 	st := ds.Graph.Stats()
-	fmt.Fprintf(os.Stderr, "generated %s: %d papers, %d experts, %d venues, %d topics, %d relations\n",
-		cfg.Name, st.Papers, st.Experts, st.Venues, st.Topics, st.Relations)
+	fmt.Fprintf(os.Stderr, "generated %s in %s: %d papers, %d experts, %d venues, %d topics, %d relations\n",
+		cfg.Name, time.Since(t0).Round(time.Millisecond),
+		st.Papers, st.Experts, st.Venues, st.Topics, st.Relations)
 
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		defer f.Close()
 		w = f
+		fmt.Fprintf(os.Stderr, "writing graph JSON to %s...\n", *out)
 	}
+	t1 := time.Now()
 	if err := ds.Graph.WriteJSON(w); err != nil {
-		fmt.Fprintln(os.Stderr, "datagen:", err)
-		os.Exit(1)
+		fail("%v", err)
+	}
+	if *out != "" {
+		if fi, err := os.Stat(*out); err == nil {
+			fmt.Fprintf(os.Stderr, "wrote %s (%.1f MiB) in %s\n",
+				*out, float64(fi.Size())/(1<<20), time.Since(t1).Round(time.Millisecond))
+		}
 	}
 
 	if *queries > 0 {
-		if *out == "" {
-			fmt.Fprintln(os.Stderr, "datagen: -queries requires -out")
-			os.Exit(1)
-		}
 		qf, err := os.Create(*out + ".queries.json")
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		defer qf.Close()
 		qs := ds.Queries(*queries, rand.New(rand.NewSource(*qseed)))
 		if err := dataset.WriteQueriesJSON(qf, qs); err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d queries to %s.queries.json\n", len(qs), *out)
 	}
 
 	if *shards > 0 {
-		if *out == "" {
-			fmt.Fprintln(os.Stderr, "datagen: -shards requires -out")
-			os.Exit(1)
-		}
 		dir := *out + ".shards"
+		fmt.Fprintf(os.Stderr, "partitioning into %d shards...\n", *shards)
 		man, err := cluster.WritePartition(dir, ds.Graph, *shards)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "datagen:", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		for i, sl := range man.Slices {
 			fmt.Fprintf(os.Stderr, "shard %d: %d papers, %d authors, %d edges\n",

@@ -144,6 +144,137 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	}
 }
 
+// TestCrashRecoveryMmapE2E is the mmap'd variant of the crash check:
+// the restart after SIGKILL recovers onto a snapshot whose columnar
+// section is mmap'd (-mmap on fails fast if the platform cannot map, so
+// a green run proves the mapping happened) and replays the WAL on top
+// of the read-only mapping. Every acknowledged paper must survive.
+func TestCrashRecoveryMmapE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes and builds the binary")
+	}
+	tmp := t.TempDir()
+	bin := filepath.Join(tmp, "expertserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	dataDir := filepath.Join(tmp, "state")
+	logPath := filepath.Join(tmp, "server.log")
+
+	start := func() *exec.Cmd {
+		logf, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin,
+			"-dataset", "aminer", "-papers", "120", "-dim", "8",
+			"-data-dir", dataDir, "-addr", addr,
+			"-mmap", "on",
+			"-fsync", "always",
+			"-snapshot-interval", "0", // updates stay WAL-only after boot
+			"-query-cache", "0",
+			"-drain-timeout", "5s",
+		)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait(); logf.Close() })
+		return cmd
+	}
+	defer func() {
+		if t.Failed() {
+			if b, err := os.ReadFile(logPath); err == nil {
+				t.Logf("server log:\n%s", b)
+			}
+		}
+	}()
+
+	authors := dataset.Generate(dataset.AminerSim(120)).Graph.NodesOfType(hetgraph.Author)
+	addPaper := func(i int) (id int32, seq uint64) {
+		t.Helper()
+		body := fmt.Sprintf(`{"text":"mmap crash paper %d on columnar snapshots","authors":[%d,%d]}`,
+			i, authors[i], authors[i+1])
+		resp, err := http.Post(base+"/add", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := readBody(resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("add %d: status %d: %s", i, resp.StatusCode, b)
+		}
+		var a struct {
+			ID  int32  `json:"id"`
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal(b, &a); err != nil {
+			t.Fatal(err)
+		}
+		return a.ID, a.Seq
+	}
+
+	// Boot 1: build, accept some updates, SIGTERM — the graceful exit
+	// writes a final v2 snapshot that journals those updates.
+	cmd := start()
+	waitReady(t, base)
+	basePapers := healthPapers(t, base)
+	var ids []int32
+	for i := 0; i < 5; i++ {
+		id, _ := addPaper(i)
+		ids = append(ids, id)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, cmd, 30*time.Second)
+	if code := cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("graceful shutdown exit code %d, want 0", code)
+	}
+
+	// Boot 2: recover onto the mmap'd snapshot, acknowledge more
+	// updates (WAL-only, on top of the read-only mapping), SIGKILL.
+	cmd2 := start()
+	waitReady(t, base)
+	if got := healthPapers(t, base); got != basePapers+5 {
+		t.Fatalf("papers after mmap'd restart: %d, want %d", got, basePapers+5)
+	}
+	for i := 5; i < 12; i++ {
+		id, _ := addPaper(i)
+		ids = append(ids, id)
+	}
+	if err := cmd2.Process.Kill(); err != nil { // SIGKILL: a real crash
+		t.Fatal(err)
+	}
+	cmd2.Wait()
+
+	// Boot 3: recover onto the same mmap'd snapshot plus WAL replay;
+	// every acknowledged paper must be present and queryable.
+	start()
+	waitReady(t, base)
+	if got := healthPapers(t, base); got != basePapers+len(ids) {
+		t.Errorf("papers after crash recovery: %d, want %d", got, basePapers+len(ids))
+	}
+	for _, id := range ids {
+		resp, err := http.Get(fmt.Sprintf("%s/similar?id=%d&m=1", base, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := readBody(resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("acked paper %d lost after crash onto mmap'd snapshot: status %d: %s",
+				id, resp.StatusCode, b)
+		}
+	}
+	if b, err := os.ReadFile(logPath); err == nil && !strings.Contains(string(b), "mmap=true") {
+		t.Errorf("server log never reported an mmap'd recovery")
+	}
+}
+
 func freeAddr(t *testing.T) string {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")

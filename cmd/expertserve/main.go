@@ -21,6 +21,13 @@
 // kill -9 — recovers exactly the acknowledged state. The listener opens
 // before recovery so /readyz honestly reports 503 until replay is done.
 //
+// Snapshots carry a columnar section holding the embedding matrix and
+// the proximity-graph index. With -mmap auto (the default) that section
+// is served zero-copy from the page cache via mmap, so corpora larger
+// than RAM stay queryable; -mmap off forces the heap decode and -mmap
+// on fails fast where the platform cannot map. Rankings are bit-for-bit
+// identical either way.
+//
 // The -role flag selects the process's place in a sharded topology:
 //
 //	single    (default) the whole corpus in one process, as above
@@ -55,6 +62,7 @@ import (
 
 	"expertfind/internal/cli"
 	"expertfind/internal/cluster"
+	"expertfind/internal/colstore"
 	"expertfind/internal/core"
 	"expertfind/internal/durable"
 	"expertfind/internal/hetgraph"
@@ -102,6 +110,7 @@ func main() {
 		shardRetries = flag.Int("shard-retries", 2, "retries per shard sub-request (role router)")
 
 		dataDir      = flag.String("data-dir", "", "durable state directory: snapshot + write-ahead log (enables crash recovery)")
+		mmapMode     = flag.String("mmap", "auto", "serve embeddings from the mmap'd snapshot: auto, on, off")
 		snapInterval = flag.Duration("snapshot-interval", 5*time.Minute, "background snapshot period with -data-dir (0 disables)")
 		fsyncPolicy  = flag.String("fsync", "always", "WAL fsync policy: always, interval, never")
 		fsyncEvery   = flag.Duration("fsync-interval", 50*time.Millisecond, "flush period under -fsync interval")
@@ -123,6 +132,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	mmap, err := colstore.ParseMode(*mmapMode)
+	if err != nil {
+		fail(err)
+	}
 
 	// Wire the metrics sinks before the build so the offline phases
 	// (sampling, training epochs, indexing) are recorded too.
@@ -131,6 +144,11 @@ func main() {
 	pgindex.SetSink(reg)
 	ta.SetSink(reg)
 	train.SetSink(reg)
+
+	// Residency gauges (RSS, page faults) on /metrics: with an mmap'd
+	// snapshot these — not the Go heap profile — show the true footprint.
+	stopProcSampler := obs.StartProcSampler(reg, 10*time.Second)
+	defer stopProcSampler()
 
 	// Open the listener before recovery: load balancers immediately get
 	// an honest /readyz 503 instead of connection-refused, and flip to
@@ -212,6 +230,7 @@ func main() {
 			Sync:         syncPolicy,
 			SyncEvery:    *fsyncEvery,
 			SegmentBytes: *walSegBytes,
+			Mmap:         mmap,
 			Metrics:      reg,
 			Logger:       logger,
 		})
@@ -313,6 +332,7 @@ func main() {
 			Sync:         syncPolicy,
 			SyncEvery:    *fsyncEvery,
 			SegmentBytes: *walSegBytes,
+			Mmap:         mmap,
 			Metrics:      reg,
 			Logger:       logger,
 		})
@@ -327,6 +347,7 @@ func main() {
 			"snapshot_seq", rec.SnapshotSeq,
 			"wal_replayed", rec.Replayed,
 			"torn_wal_tail", rec.TornWALTail,
+			"mmap", rec.SnapshotMapped,
 			"fsync", syncPolicy.String(),
 			"duration", rec.Duration,
 		)
@@ -335,11 +356,11 @@ func main() {
 			logger.Info("snapshot_loop_started", "interval", *snapInterval)
 		}
 	case *engineFile != "":
-		engine, err = core.LoadFile(*engineFile, g)
+		engine, err = core.LoadFileWith(*engineFile, g, core.LoadOptions{Mmap: mmap})
 		if err != nil {
 			fail(err)
 		}
-		logger.Info("engine_loaded", "file", *engineFile)
+		logger.Info("engine_loaded", "file", *engineFile, "mmap", engine.SnapshotMapped())
 	default:
 		engine, err = build()
 		if err != nil {

@@ -1,0 +1,34 @@
+package colstore
+
+import "unsafe"
+
+// hostLittleEndian reports whether this process runs on a little-endian
+// CPU. The on-disk format is little-endian; matching hosts reinterpret
+// payload bytes in place, others take the portable per-element decode.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// asBytes reinterprets a typed slice as its underlying byte image.
+// elemSize must be unsafe.Sizeof the element type. The returned slice
+// aliases v and has cap == len.
+func asBytes[T any](v []T, elemSize int) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*elemSize)
+}
+
+// viewAs reinterprets a byte slice as a typed slice of count elements.
+// b must be at least count*sizeof(T) long and aligned for T (segment
+// payloads are page-aligned in the mapping, and heap buffers come from
+// typed allocations, so both sources satisfy this). The returned slice
+// aliases b and has cap == len, so an append by the consumer
+// reallocates to the heap instead of scribbling on a read-only mapping.
+func viewAs[T any](b []byte, count int) []T {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), count)
+}

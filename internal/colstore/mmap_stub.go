@@ -1,0 +1,12 @@
+//go:build !(linux || darwin)
+
+package colstore
+
+import "os"
+
+// mmapSupported reports whether this build can map snapshot files.
+const mmapSupported = false
+
+func mapFile(f *os.File, size int64) ([]byte, error) { return nil, ErrNoMmap }
+
+func unmapFile(b []byte) error { return nil }

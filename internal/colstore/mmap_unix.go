@@ -1,0 +1,38 @@
+//go:build linux || darwin
+
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this build can map snapshot files.
+const mmapSupported = true
+
+// mapFile maps the first size bytes of f read-only and shared, so the
+// mapping keeps serving the same bytes even after the file is renamed
+// away by an atomic snapshot replacement (the inode stays alive until
+// the mapping is released).
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("colstore: mmap: non-positive size %d", size)
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("colstore: mmap: size %d overflows int", size)
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: mmap %s: %w", f.Name(), err)
+	}
+	return b, nil
+}
+
+// unmapFile releases a mapping produced by mapFile.
+func unmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"expertfind/internal/colstore"
 	"expertfind/internal/hetgraph"
 	"expertfind/internal/obs"
 	"expertfind/internal/pgindex"
@@ -159,6 +160,11 @@ type Engine struct {
 	updates []NewPaper
 	// walSeq is the WAL sequence of the most recent applied update.
 	walSeq uint64
+
+	// colsec is the columnar snapshot section backing a v2 load (nil
+	// for built or v1-loaded engines). It anchors the mmap'd views the
+	// embedding matrix and index adjacency alias; see CloseSnapshot.
+	colsec *colstore.Section
 }
 
 // Build runs the offline pipeline over g: vocabulary induction,

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"expertfind/internal/colstore"
 	"expertfind/internal/durable"
 	"expertfind/internal/hetgraph"
 	"expertfind/internal/obs"
@@ -75,6 +76,9 @@ type FollowerOptions struct {
 	Sync         durable.SyncPolicy
 	SyncEvery    time.Duration
 	SegmentBytes int64
+	// Mmap selects how the snapshot's columnar section is materialised
+	// (see LoadOptions.Mmap); zero value maps when the platform allows.
+	Mmap colstore.Mode
 	// Metrics receives replication metrics (nil: obs.Default()).
 	Metrics *obs.Registry
 	// Logger receives replication progress lines (nil: silent).
@@ -170,7 +174,7 @@ func OpenFollower(dir string, g *hetgraph.Graph, leaderURL string, o FollowerOpt
 	// Phase 2: load the snapshot and recover the local log over it,
 	// exactly as a leader would — minus attaching the engine's update
 	// log, because a follower's writes come only from replication.
-	e, err := LoadFile(snapPath, g)
+	e, err := LoadFileWith(snapPath, g, LoadOptions{Mmap: o.Mmap})
 	if err != nil {
 		return nil, err
 	}
@@ -275,11 +279,12 @@ func (f *Follower) fetchSnapshot(path string) (uint64, error) {
 	if err := tmp.Close(); err != nil {
 		return fail("close", err)
 	}
-	// Validate the container (magic, version, CRC over the payload)
-	// before the file is allowed to become the snapshot: a torn download
-	// must fail here, not at some later boot. The caller's LoadFile then
-	// validates the payload in depth.
-	if _, _, err := durable.ReadContainerFile(tmpName, snapshotVersion); err != nil {
+	// Validate every checksum — container header, payload CRC, and for
+	// v2 the columnar section directory and each segment — before the
+	// file is allowed to become the snapshot: a torn download must fail
+	// here, not at some later boot. The caller's load then validates
+	// the payload in depth.
+	if err := VerifySnapshotFile(tmpName); err != nil {
 		os.Remove(tmpName)
 		return 0, err
 	}

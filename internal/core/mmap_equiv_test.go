@@ -1,0 +1,283 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"expertfind/internal/colstore"
+	"expertfind/internal/dataset"
+	"expertfind/internal/durable"
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/obs"
+)
+
+// The mmap equivalence suite: the same snapshot loaded heap-decoded and
+// mmap'd must produce bit-for-bit identical rankings — expert ids,
+// order, and Float64bits of every score. The corpus is built once with
+// the PG-Index on (so the CSR, entry-point, and quantization segments
+// are all exercised) and includes journalled updates, covering the
+// graph-only replay path of the columnar loader.
+
+var mmapEquivFixture = struct {
+	once sync.Once
+	ds   *dataset.Dataset
+	eng  *Engine
+	snap string // saved v2 snapshot path
+	err  error
+}{}
+
+func mmapEquivSetup(t testing.TB) (*dataset.Dataset, *Engine, string) {
+	f := &mmapEquivFixture
+	f.once.Do(func() {
+		f.ds = dataset.Generate(dataset.AminerSim(120))
+		e, err := Build(f.ds.Graph, Options{
+			Dim: 8, Seed: 11, UseKPCore: Bool(false), Metrics: obs.NewRegistry(),
+		})
+		if err != nil {
+			f.err = err
+			return
+		}
+		// Journalled updates ride in the snapshot and are replayed
+		// graph-only by the columnar loader — their embeddings must come
+		// from the matrix, not a re-embed.
+		authors := f.ds.Graph.NodesOfType(hetgraph.Author)
+		for i := 0; i < 3; i++ {
+			_, err := e.AddPaper(NewPaper{
+				Text:    fmt.Sprintf("journalled mmap paper %d on expert finding", i),
+				Authors: []hetgraph.NodeID{authors[i], authors[i+2]},
+			})
+			if err != nil {
+				f.err = err
+				return
+			}
+		}
+		dir, err := os.MkdirTemp("", "mmapequiv")
+		if err != nil {
+			f.err = err
+			return
+		}
+		f.snap = filepath.Join(dir, "engine.snap")
+		w, err := os.Create(f.snap)
+		if err != nil {
+			f.err = err
+			return
+		}
+		if err := e.Save(w); err != nil {
+			f.err = err
+			return
+		}
+		if err := w.Close(); err != nil {
+			f.err = err
+			return
+		}
+		f.eng = e
+	})
+	if f.err != nil {
+		t.Fatal(f.err)
+	}
+	return f.ds, f.eng, f.snap
+}
+
+func freshEquivGraph() *hetgraph.Graph {
+	return dataset.Generate(dataset.AminerSim(120)).Graph
+}
+
+// assertRankingsIdentical compares TopExperts and SimilarPapers between
+// two engines bit for bit across a deterministic query set.
+func assertRankingsIdentical(t *testing.T, ds *dataset.Dataset, label string, want, got *Engine) {
+	t.Helper()
+	for _, q := range ds.Queries(6, rand.New(rand.NewSource(21))) {
+		w, _, err := want.TopExperts(q.Text, 40, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := got.TopExperts(q.Text, 40, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(w) != len(g) {
+			t.Fatalf("%s: query %q: %d vs %d experts", label, q.Text, len(w), len(g))
+		}
+		for i := range w {
+			if w[i].Expert != g[i].Expert {
+				t.Fatalf("%s: query %q rank %d: expert %d vs %d",
+					label, q.Text, i+1, w[i].Expert, g[i].Expert)
+			}
+			if math.Float64bits(w[i].Score) != math.Float64bits(g[i].Score) {
+				t.Fatalf("%s: query %q rank %d: score bits %x vs %x", label, q.Text, i+1,
+					math.Float64bits(w[i].Score), math.Float64bits(g[i].Score))
+			}
+		}
+	}
+	papers := want.Graph().NodesOfType(hetgraph.Paper)
+	for _, id := range []hetgraph.NodeID{papers[0], papers[len(papers)/2], papers[len(papers)-1]} {
+		w, _, err := want.SimilarPapers(id, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := got.SimilarPapers(id, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(w) != len(g) {
+			t.Fatalf("%s: similar(%d): %d vs %d papers", label, id, len(w), len(g))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("%s: similar(%d) rank %d: paper %d vs %d", label, id, i+1, w[i], g[i])
+			}
+		}
+	}
+}
+
+// TestMmapEquivalenceSingleNode is the single-node acceptance check:
+// the built engine, the heap-decoded load (-mmap off), and the mmap'd
+// load (-mmap on) must rank identically, and the mmap'd engine must
+// keep ranking identically after accepting new papers (which grow the
+// matrix onto the heap — never into the read-only mapping).
+func TestMmapEquivalenceSingleNode(t *testing.T) {
+	ds, built, snap := mmapEquivSetup(t)
+
+	heap, err := LoadFileWith(snap, freshEquivGraph(), LoadOptions{Mmap: colstore.ModeOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heap.SnapshotMapped() {
+		t.Fatal("ModeOff load reports a mapped snapshot")
+	}
+	mapped, err := LoadFileWith(snap, freshEquivGraph(), LoadOptions{Mmap: colstore.ModeOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.CloseSnapshot()
+	if !mapped.SnapshotMapped() {
+		t.Fatal("ModeOn load did not map the snapshot")
+	}
+
+	assertRankingsIdentical(t, ds, "built vs heap", built, heap)
+	assertRankingsIdentical(t, ds, "heap vs mmap", heap, mapped)
+
+	// Online updates on top of the mapping: identical writes to both
+	// loaded engines must keep them bit-identical, and must not touch
+	// the read-only mapping (a write through it would SIGSEGV).
+	for _, e := range []*Engine{heap, mapped} {
+		authors := e.Graph().NodesOfType(hetgraph.Author)
+		for i := 0; i < 4; i++ {
+			_, err := e.AddPaper(NewPaper{
+				Text:    fmt.Sprintf("post-load paper %d on graph embeddings", i),
+				Authors: []hetgraph.NodeID{authors[(i*3)%len(authors)]},
+			})
+			if err != nil {
+				t.Fatalf("add paper %d: %v", i, err)
+			}
+		}
+	}
+	assertRankingsIdentical(t, ds, "heap vs mmap after updates", heap, mapped)
+}
+
+// TestMmapEquivalenceModeAuto pins the default: ModeAuto behaves like
+// ModeOn where the platform supports mapping and like ModeOff where it
+// does not — and ranks identically either way.
+func TestMmapEquivalenceModeAuto(t *testing.T) {
+	ds, built, snap := mmapEquivSetup(t)
+	auto, err := LoadFileWith(snap, freshEquivGraph(), LoadOptions{Mmap: colstore.ModeAuto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer auto.CloseSnapshot()
+	assertRankingsIdentical(t, ds, "built vs auto", built, auto)
+}
+
+// TestV1SnapshotStillLoads is the backward-compatibility gate: a
+// version-1 container (all-gob, no columnar section) written the way
+// pre-columnar builds wrote it must load and rank exactly like the v2
+// snapshot of the same engine.
+func TestV1SnapshotStillLoads(t *testing.T) {
+	ds, built, snap := mmapEquivSetup(t)
+
+	// Reconstruct the v1 bytes from the v2 snapshot: same gob payload
+	// minus the columnar shapes, sealed as container version 1.
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, payload, _, err := durable.ReadContainerPrefix(bytes.NewReader(raw), snap, snapshotVersionV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := decodePayload(payload, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Col = nil
+	var v1Payload bytes.Buffer
+	if err := gob.NewEncoder(&v1Payload).Encode(p); err != nil {
+		t.Fatal(err)
+	}
+	v1Path := filepath.Join(t.TempDir(), "v1.snap")
+	w, err := os.Create(v1Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := durable.WriteContainer(w, snapshotVersionV1, v1Payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range []colstore.Mode{colstore.ModeAuto, colstore.ModeOn, colstore.ModeOff} {
+		v1, err := LoadFileWith(v1Path, freshEquivGraph(), LoadOptions{Mmap: mode})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if v1.SnapshotMapped() {
+			t.Fatalf("mode %v: v1 snapshot has nothing to map", mode)
+		}
+		assertRankingsIdentical(t, ds, fmt.Sprintf("v1 mode %v", mode), built, v1)
+	}
+}
+
+// TestVerifySnapshotFile pins the follower-bootstrap validator: a valid
+// v2 file passes, and truncation, trailing junk, or a flipped byte in
+// any region (header, gob payload, columnar payload, padding) fails
+// with a typed error.
+func TestVerifySnapshotFile(t *testing.T) {
+	_, _, snap := mmapEquivSetup(t)
+	if err := VerifySnapshotFile(snap); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	raw, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	if err := VerifySnapshotFile(write("trunc", raw[:len(raw)-1])); err == nil {
+		t.Fatal("truncated snapshot verified")
+	}
+	if err := VerifySnapshotFile(write("trail", append(append([]byte(nil), raw...), 0xEE))); err == nil {
+		t.Fatal("trailing-junk snapshot verified")
+	}
+	for _, off := range []int{3, 17, 40, len(raw) / 2, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x10
+		if err := VerifySnapshotFile(write(fmt.Sprintf("flip%d", off), mut)); err == nil {
+			t.Fatalf("bit flip at %d verified", off)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 
+	"expertfind/internal/colstore"
 	"expertfind/internal/durable"
 	"expertfind/internal/hetgraph"
 	"expertfind/internal/obs"
@@ -34,9 +35,9 @@ import (
 // before a single payload byte is interpreted — never a cryptic mid-gob
 // failure, and never a silently half-loaded engine.
 
-// snapshotVersion is the current container format version; bump it when
-// snapshotPayload changes incompatibly.
-const snapshotVersion = 1
+// The container format versions live in persist_v2.go: version 1 is
+// the original all-gob layout, version 2 appends the columnar section.
+// Save always writes version 2; Load reads both.
 
 // enginePersist is the gob-encoded form of the engine's static state.
 type enginePersist struct {
@@ -125,6 +126,10 @@ type snapshotPayload struct {
 	Engine  enginePersist
 	Updates []persistUpdate
 	LastSeq uint64
+	// Col describes the v2 columnar section that follows the payload
+	// (shapes and index scalars); nil in v1 snapshots and in the rare
+	// v2 snapshot with nothing columnar to store.
+	Col *colPersist
 }
 
 // Save serialises the engine — fine-tuned encoder, configuration, and
@@ -179,12 +184,28 @@ func (e *Engine) SaveSnapshot(w io.Writer) (lastSeq uint64, err error) {
 		p.Updates[i] = toPersistUpdate(u)
 	}
 
+	// The big blocks — embedding matrix, CSR adjacency, quantization
+	// shadow — go into the columnar section after the gob payload, in
+	// page-aligned fixed-width segments a loader can mmap. Only their
+	// shapes travel in the gob metadata.
+	segs, col, err := e.columnSegmentsLocked()
+	if err != nil {
+		return 0, err
+	}
+	p.Col = col
+
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(&p); err != nil {
 		return 0, fmt.Errorf("core: save: %w", err)
 	}
-	if err := durable.WriteContainer(w, snapshotVersion, payload.Bytes()); err != nil {
+	if err := durable.WriteContainer(w, snapshotVersionV2, payload.Bytes()); err != nil {
 		return 0, fmt.Errorf("core: save: %w", err)
+	}
+	if col != nil {
+		base := int64(durable.ContainerHeaderSize) + int64(payload.Len())
+		if _, _, err := colstore.WriteSection(w, base, segs); err != nil {
+			return 0, fmt.Errorf("core: save: %w", err)
+		}
 	}
 	return e.walSeq, nil
 }
@@ -204,26 +225,42 @@ func Load(r io.Reader, g *hetgraph.Graph) (*Engine, error) {
 	return loadNamed(r, "<stream>", g)
 }
 
-// LoadFile is Load with path context in every error.
+// LoadFile is Load with path context in every error, and — unlike the
+// streaming Load — able to mmap a v2 snapshot's columnar section.
+// It uses ModeAuto; LoadFileWith exposes the choice.
 func LoadFile(path string, g *hetgraph.Graph) (*Engine, error) {
-	version, payload, err := durable.ReadContainerFile(path, snapshotVersion)
-	if err != nil {
-		return nil, fmt.Errorf("core: load: %w", err)
-	}
-	return loadPayload(version, payload, path, g)
+	return LoadFileWith(path, g, LoadOptions{})
 }
 
 func loadNamed(r io.Reader, name string, g *hetgraph.Graph) (*Engine, error) {
-	version, payload, err := durable.ReadContainer(r, name, snapshotVersion)
+	version, payload, end, err := durable.ReadContainerPrefix(r, name, snapshotVersionV2)
 	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
-	return loadPayload(version, payload, name, g)
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if version == snapshotVersionV1 {
+		if len(rest) != 0 {
+			return nil, trailingErr(name, end)
+		}
+		return loadPayload(payload, name, g)
+	}
+	return loadV2Bytes(payload, rest, end, name, g)
 }
 
-func loadPayload(version uint16, payload []byte, name string, g *hetgraph.Graph) (*Engine, error) {
-	// version is validated by ReadContainer; today only one exists.
-	_ = version
+// loadPayload restores a v1 engine: decode, then materialise.
+func loadPayload(payload []byte, name string, g *hetgraph.Graph) (*Engine, error) {
+	p, err := decodePayload(payload, name)
+	if err != nil {
+		return nil, err
+	}
+	return engineFromPayload(p, name, g)
+}
+
+// decodePayload gob-decodes and shape-checks a snapshot payload.
+func decodePayload(payload []byte, name string) (*snapshotPayload, error) {
 	var p snapshotPayload
 	cr := &countingReader{r: bytes.NewReader(payload)}
 	if err := gob.NewDecoder(cr).Decode(&p); err != nil {
@@ -240,28 +277,42 @@ func loadPayload(version uint16, payload []byte, name string, g *hetgraph.Graph)
 			Err: fmt.Errorf("dim %d, %d tokens, %d weights", p.Engine.Dim,
 				len(p.Engine.Tokens), len(p.Engine.EmbData))})
 	}
+	return &p, nil
+}
 
+// optionsFromPersist reconstructs the build Options a payload echoes.
+func optionsFromPersist(ep *enginePersist) (Options, error) {
 	opts := Options{
-		K:                   p.Engine.K,
-		SampleFraction:      p.Engine.SampleFraction,
-		NegPerPos:           p.Engine.NegPerPos,
-		MaxPositivesPerSeed: p.Engine.MaxPositivesPerSeed,
-		Dim:                 p.Engine.Dim,
-		EF:                  p.Engine.EF,
-		Seed:                p.Engine.Seed,
-		Index:               p.Engine.IndexConfig,
-		UsePGIndex:          Bool(p.Engine.UsePGIndex),
-		UseTA:               Bool(p.Engine.UseTA),
+		K:                   ep.K,
+		SampleFraction:      ep.SampleFraction,
+		NegPerPos:           ep.NegPerPos,
+		MaxPositivesPerSeed: ep.MaxPositivesPerSeed,
+		Dim:                 ep.Dim,
+		EF:                  ep.EF,
+		Seed:                ep.Seed,
+		Index:               ep.IndexConfig,
+		UsePGIndex:          Bool(ep.UsePGIndex),
+		UseTA:               Bool(ep.UseTA),
 	}
-	opts.NegStrategy = samplingStrategy(p.Engine.NegStrategy)
-	for _, s := range p.Engine.MetaPaths {
+	opts.NegStrategy = samplingStrategy(ep.NegStrategy)
+	for _, s := range ep.MetaPaths {
 		mp, err := hetgraph.ParseMetaPath(s)
 		if err != nil {
-			return nil, fmt.Errorf("core: load: %w", err)
+			return Options{}, fmt.Errorf("core: load: %w", err)
 		}
 		opts.MetaPaths = append(opts.MetaPaths, mp)
 	}
+	return opts, nil
+}
 
+// engineFromPayload materialises a v1-style engine from the decoded
+// payload: re-embed every paper with the restored encoder, rebuild the
+// PG-Index deterministically, re-apply the journalled updates in full.
+func engineFromPayload(p *snapshotPayload, name string, g *hetgraph.Graph) (*Engine, error) {
+	opts, err := optionsFromPersist(&p.Engine)
+	if err != nil {
+		return nil, err
+	}
 	enc, err := restoreEncoder(&p.Engine)
 	if err != nil {
 		return nil, err

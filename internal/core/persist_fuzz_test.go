@@ -124,8 +124,11 @@ func TestLoadCorruptionsAreTyped(t *testing.T) {
 		// gob stream stops early — the shape of an incompatible or buggy
 		// writer rather than bit rot. The typed error must say the payload
 		// was the problem and carry the offset where decoding stopped.
-		mut := append([]byte(nil), valid[:len(valid)-10]...)
-		binary.LittleEndian.PutUint64(mut[8:16], uint64(len(mut)-20))
+		// Cut inside the gob payload (before the columnar section), and
+		// re-seal the shortened container so only gob decoding can object.
+		plen := int(binary.LittleEndian.Uint64(valid[8:16]))
+		mut := append([]byte(nil), valid[:20+plen-10]...)
+		binary.LittleEndian.PutUint64(mut[8:16], uint64(plen-10))
 		binary.LittleEndian.PutUint32(mut[16:20], durable.Checksum(mut[20:]))
 		_, err := Load(bytes.NewReader(mut), freshGraph())
 		var ce *durable.CorruptError

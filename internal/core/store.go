@@ -1,14 +1,15 @@
 package core
 
 import (
-	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"time"
 
+	"expertfind/internal/colstore"
 	"expertfind/internal/durable"
 	"expertfind/internal/hetgraph"
 	"expertfind/internal/obs"
@@ -83,6 +84,11 @@ type StoreOptions struct {
 	// FollowerTTL overrides how long a silent replication follower pins
 	// WAL truncation (zero: DefaultFollowerTTL).
 	FollowerTTL time.Duration
+	// Mmap selects how a v2 snapshot's columnar section is materialised
+	// on recovery (see LoadOptions.Mmap): the zero value maps it when
+	// the platform allows, ModeOff forces heap reads, ModeOn fails if
+	// the mapping cannot be established.
+	Mmap colstore.Mode
 }
 
 // RecoveryInfo reports what OpenStore found and did.
@@ -92,6 +98,9 @@ type RecoveryInfo struct {
 	SnapshotLoaded bool
 	// SnapshotSeq is the WAL sequence the snapshot covered.
 	SnapshotSeq uint64
+	// SnapshotMapped is true when the loaded snapshot's columnar
+	// section is mmap'd (engine state served from the page cache).
+	SnapshotMapped bool
 	// Replayed is the number of WAL records applied on top.
 	Replayed int
 	// TornWALTail reports a truncated partial record on the final WAL
@@ -135,7 +144,7 @@ func OpenStore(dir string, g *hetgraph.Graph, build func() (*Engine, error), o S
 	_, sp := obs.StartSpan(ctx, "snapshot")
 	hadSnapshot := false
 	if st, err := os.Stat(snapPath); err == nil {
-		e, err := LoadFile(snapPath, g)
+		e, err := LoadFileWith(snapPath, g, LoadOptions{Mmap: o.Mmap})
 		if err != nil {
 			root.End()
 			return nil, err // typed: checksum/truncation/version context intact
@@ -143,9 +152,14 @@ func OpenStore(dir string, g *hetgraph.Graph, build func() (*Engine, error), o S
 		s.engine, hadSnapshot = e, true
 		s.info.SnapshotLoaded = true
 		s.info.SnapshotSeq = e.LastUpdateSeq()
+		s.info.SnapshotMapped = e.SnapshotMapped()
 		s.lastSnap = st.ModTime()
+		reg.Gauge("expertfind_snapshot_mmap",
+			"1 when the engine's columnar state is an mmap'd snapshot view.").
+			Set(b2f(s.info.SnapshotMapped))
 		log.Info("store_snapshot_loaded", "file", snapPath,
-			"seq", s.info.SnapshotSeq, "age", time.Since(st.ModTime()).Round(time.Second))
+			"seq", s.info.SnapshotSeq, "mmap", s.info.SnapshotMapped,
+			"age", time.Since(st.ModTime()).Round(time.Second))
 	} else if !os.IsNotExist(err) {
 		root.End()
 		return nil, fmt.Errorf("core: open store: %w", err)
@@ -242,13 +256,20 @@ func (s *Store) Snapshot() error {
 		return durable.ErrClosed
 	}
 	start := time.Now()
-	var buf bytes.Buffer
-	seq, err := s.engine.SaveSnapshot(&buf)
-	if err != nil {
-		return err
-	}
+	// Stream the snapshot straight into the temp file: a corpus-sized
+	// engine must not be buffered in memory on the way out. Atomicity
+	// is unchanged — temp + fsync + rename.
 	path := filepath.Join(s.dir, SnapshotFileName)
-	if err := durable.AtomicWriteFile(path, buf.Bytes(), true); err != nil {
+	var seq uint64
+	var nbytes int64
+	err := durable.AtomicWriteTo(path, true, func(f *os.File) error {
+		cw := &countingWriter{w: f}
+		var serr error
+		seq, serr = s.engine.SaveSnapshot(cw)
+		nbytes = cw.n
+		return serr
+	})
+	if err != nil {
 		return err
 	}
 	// Never truncate past a live follower: a follower that has applied
@@ -264,14 +285,27 @@ func (s *Store) Snapshot() error {
 	s.lastSnap = time.Now()
 	s.reg.Counter("expertfind_snapshots_total", "Engine snapshots written.").Inc()
 	s.reg.Gauge("expertfind_snapshot_bytes", "Size of the most recent snapshot.").
-		Set(float64(buf.Len()))
+		Set(float64(nbytes))
 	s.reg.Histogram("expertfind_snapshot_seconds",
 		"Time to serialise and persist one snapshot.", nil).
 		Observe(time.Since(start).Seconds())
 	s.setSnapshotGauges()
-	s.log.Info("store_snapshot_written", "file", path, "bytes", buf.Len(),
+	s.log.Info("store_snapshot_written", "file", path, "bytes", nbytes,
 		"seq", seq, "dur", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// countingWriter counts bytes for the snapshot size gauge while the
+// snapshot streams to disk.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // StartSnapshotLoop checkpoints every interval until Close. Errors are

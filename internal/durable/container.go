@@ -25,6 +25,11 @@ var containerMagic = [6]byte{'E', 'F', 'S', 'N', 'A', 'P'}
 
 const (
 	containerHeaderSize = 20
+	// ContainerHeaderSize is the fixed byte length of the container
+	// header — the offset where the payload begins. Callers that append
+	// out-of-band data after the payload (the v2 columnar snapshot
+	// section) use it to compute absolute file offsets.
+	ContainerHeaderSize = containerHeaderSize
 	// MaxPayloadBytes bounds a declared payload length so a corrupt
 	// header cannot drive an allocation of hundreds of gigabytes.
 	MaxPayloadBytes = int64(1) << 32
@@ -95,6 +100,49 @@ func ReadContainer(r io.Reader, name string, maxVersion uint16) (version uint16,
 			Detail: "trailing bytes after payload", Err: ErrChecksum}
 	}
 	return version, payload, nil
+}
+
+// ReadContainerPrefix reads and verifies a container at the head of r
+// but — unlike ReadContainer — tolerates bytes after the payload,
+// returning the offset where they begin. It exists for the v2 snapshot
+// layout, where a columnar section follows the gob container in the
+// same file; plain v1 readers keep using ReadContainer, which still
+// rejects trailing garbage.
+func ReadContainerPrefix(r io.Reader, name string, maxVersion uint16) (version uint16, payload []byte, end int64, err error) {
+	var hdr [containerHeaderSize]byte
+	n, err := io.ReadFull(r, hdr[:])
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, 0, &CorruptError{Path: name, Offset: int64(n),
+				Detail: "container header", Err: ErrTruncated}
+		}
+		return 0, nil, 0, fmt.Errorf("durable: %s: read header: %w", name, err)
+	}
+	if [6]byte(hdr[:6]) != containerMagic {
+		return 0, nil, 0, &CorruptError{Path: name, Offset: 0,
+			Detail: "container magic", Err: ErrBadMagic}
+	}
+	version = binary.LittleEndian.Uint16(hdr[6:8])
+	if version == 0 || version > maxVersion {
+		return 0, nil, 0, &VersionError{Path: name, Got: version, Max: maxVersion}
+	}
+	plen := binary.LittleEndian.Uint64(hdr[8:16])
+	if int64(plen) < 0 || int64(plen) > MaxPayloadBytes {
+		return 0, nil, 0, &CorruptError{Path: name, Offset: 8,
+			Detail: "container payload length", Err: ErrChecksum}
+	}
+	want := binary.LittleEndian.Uint32(hdr[16:20])
+	payload = make([]byte, plen)
+	n, err = io.ReadFull(r, payload)
+	if err != nil {
+		return 0, nil, 0, &CorruptError{Path: name, Offset: containerHeaderSize + int64(n),
+			Detail: "container payload", Err: ErrTruncated}
+	}
+	if got := Checksum(payload); got != want {
+		return 0, nil, 0, &CorruptError{Path: name, Offset: containerHeaderSize,
+			Detail: "container payload", Err: ErrChecksum}
+	}
+	return version, payload, containerHeaderSize + int64(plen), nil
 }
 
 // ReadContainerFile opens path and reads its container.

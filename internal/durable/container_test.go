@@ -145,3 +145,76 @@ func TestAtomicWriteFailureKeepsOldFile(t *testing.T) {
 		t.Fatalf("old file damaged: %q, %v", payload, err)
 	}
 }
+
+func TestReadContainerPrefixToleratesTrailer(t *testing.T) {
+	payload := []byte("v2 gob payload")
+	var buf bytes.Buffer
+	if err := WriteContainer(&buf, 2, payload); err != nil {
+		t.Fatal(err)
+	}
+	wantEnd := int64(buf.Len())
+	buf.WriteString("columnar section bytes follow the container here")
+
+	v, got, end, err := ReadContainerPrefix(bytes.NewReader(buf.Bytes()), "<stream>", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 || !bytes.Equal(got, payload) || end != wantEnd {
+		t.Fatalf("prefix read: version %d payload %q end %d (want end %d)", v, got, end, wantEnd)
+	}
+
+	// The strict reader must still reject the same bytes.
+	if _, _, err := ReadContainer(bytes.NewReader(buf.Bytes()), "<stream>", 2); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("ReadContainer accepted trailing bytes: %v", err)
+	}
+
+	// And the prefix reader keeps the full corruption taxonomy.
+	torn := buf.Bytes()[:10]
+	if _, _, _, err := ReadContainerPrefix(bytes.NewReader(torn), "<s>", 2); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("torn prefix: %v", err)
+	}
+	flip := append([]byte(nil), buf.Bytes()...)
+	flip[containerHeaderSize+2] ^= 0x10
+	if _, _, _, err := ReadContainerPrefix(bytes.NewReader(flip), "<s>", 2); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("flipped prefix: %v", err)
+	}
+	if _, _, _, err := ReadContainerPrefix(bytes.NewReader(buf.Bytes()), "<s>", 1); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestAtomicWriteToStreams(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.efs")
+	if err := AtomicWriteTo(path, true, func(f *os.File) error {
+		for i := 0; i < 3; i++ {
+			if _, err := f.Write([]byte("chunk-")); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "chunk-chunk-chunk-" {
+		t.Fatalf("content %q err %v", b, err)
+	}
+
+	// A failing producer must leave the old file untouched and no temp
+	// files behind.
+	if err := AtomicWriteTo(path, false, func(f *os.File) error {
+		f.Write([]byte("partial"))
+		return errors.New("producer failed")
+	}); err == nil {
+		t.Fatal("producer error swallowed")
+	}
+	b, _ = os.ReadFile(path)
+	if string(b) != "chunk-chunk-chunk-" {
+		t.Fatalf("old file clobbered: %q", b)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}

@@ -118,6 +118,46 @@ func AtomicWriteFile(path string, data []byte, sync bool) error {
 	return nil
 }
 
+// AtomicWriteTo is AtomicWriteFile for producers too large to buffer:
+// write streams the content directly to the temp file, which is then
+// (optionally) fsynced and renamed over path, with the same
+// crash-safety guarantee — the old file or the complete new one, never
+// a torn mix. A multi-gigabyte snapshot costs no intermediate []byte.
+func AtomicWriteTo(path string, sync bool, write func(f *os.File) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	fail := func(step string, err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: atomic write %s: %s: %w", path, step, err)
+	}
+	if err := write(tmp); err != nil {
+		return fail("write", err)
+	}
+	if sync {
+		if err := tmp.Sync(); err != nil {
+			return fail("fsync", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fail("close", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("durable: atomic write %s: rename: %w", path, err)
+	}
+	if sync {
+		if err := syncDir(dir); err != nil {
+			return fmt.Errorf("durable: atomic write %s: sync dir: %w", path, err)
+		}
+	}
+	return nil
+}
+
 // syncDir fsyncs a directory so renames and unlinks inside it are
 // durable. Some filesystems reject fsync on directories; that is not a
 // correctness problem on the platforms we target, so only real errors

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"expertfind/internal/colstore"
+	"expertfind/internal/core"
+	"expertfind/internal/dataset"
+	"expertfind/internal/obs"
+)
+
+// The scale benchmark (BENCH_scale.json) answers the larger-than-RAM
+// question: as the corpus grows 10^4 -> 10^6 papers, what does serving
+// cost in resident memory and latency when the snapshot's columnar
+// section is mmap'd versus heap-decoded? The engine is built without
+// the PG-Index (UseKPCore and UsePGIndex off) so the measured residency
+// is the embedding matrix itself, not index scaffolding — the paper's
+// offline quality path is unchanged and benchmarked elsewhere.
+//
+// Methodology notes, in the name of honest numbers:
+//
+//   - RSS is sampled in-process from /proc/self/status. Each number is
+//     a delta over a baseline taken right before the load, after
+//     debug.FreeOSMemory() returned the allocator's free pages.
+//   - The mmap mode runs FIRST at each size, so the heap mode cannot
+//     warm anything for it.
+//   - "Cold" is the first pass over the query set after the load;
+//     "warm" aggregates two further passes. The snapshot was written by
+//     this same process, so its pages may still be in the OS page
+//     cache: cold mmap latencies measure first-touch page faults, not
+//     necessarily disk reads. Major-fault deltas are reported so the
+//     reader can tell which happened.
+//   - Queries run the exact scan (no index), which eventually touches
+//     every matrix row: the RSS-after-queries column shows what demand
+//     paging faults in under a worst-case read pattern, while
+//     RSS-after-load shows what the load itself costs. A mapped load
+//     never touches the matrix pages (metadata columns are decoded via
+//     the file, CRCs are verified by pread), so its RSS-after-load is
+//     engine scaffolding — maps, vocabulary — not the corpus.
+
+// ScaleModeStats is one (corpus size, materialisation mode) cell.
+type ScaleModeStats struct {
+	Mode   string `json:"mode"` // "mmap" or "heap"
+	Mapped bool   `json:"mapped"`
+
+	LoadMs float64 `json:"load_ms"`
+	// RSS deltas over the pre-load baseline, bytes.
+	RSSAfterLoadBytes    int64 `json:"rss_after_load_bytes"`
+	RSSAfterQueriesBytes int64 `json:"rss_after_queries_bytes"`
+	// MajorFaults is the majflt delta across the whole mode run; > 0
+	// means the cold pass really did hit the disk.
+	MajorFaults uint64 `json:"major_faults"`
+
+	ColdP50Ms float64 `json:"cold_p50_ms"`
+	ColdP99Ms float64 `json:"cold_p99_ms"`
+	WarmP50Ms float64 `json:"warm_p50_ms"`
+	WarmP99Ms float64 `json:"warm_p99_ms"`
+}
+
+// ScaleBenchPoint is one corpus size in the sweep.
+type ScaleBenchPoint struct {
+	Papers          int     `json:"papers"`
+	BuildMs         float64 `json:"build_ms"`
+	SnapshotBytes   int64   `json:"snapshot_bytes"`
+	SnapshotWriteMs float64 `json:"snapshot_write_ms"`
+	// MatrixBytes is rows*dim*4 — the embedding payload the two modes
+	// differ on.
+	MatrixBytes int64 `json:"matrix_bytes"`
+
+	Mmap ScaleModeStats `json:"mmap"`
+	Heap ScaleModeStats `json:"heap"`
+}
+
+// ScaleBenchReport is the payload of BENCH_scale.json.
+type ScaleBenchReport struct {
+	Dataset  string            `json:"dataset"`
+	Dim      int               `json:"dim"`
+	Queries  int               `json:"queries"`
+	ProcStat bool              `json:"procstat_available"`
+	Points   []ScaleBenchPoint `json:"points"`
+}
+
+// RunScaleBench sweeps the corpus sizes, building, snapshotting, and
+// then loading + querying each snapshot twice: columnar section mmap'd,
+// then heap-decoded.
+func RunScaleBench(sc Scale, sizes []int) ScaleBenchReport {
+	rep := ScaleBenchReport{Dataset: "aminer-sim", Dim: sc.Dim, Queries: sc.Queries}
+	_, rep.ProcStat = obs.ReadProcStat()
+
+	dir, err := os.MkdirTemp("", "scalebench-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	for _, n := range sizes {
+		pt := ScaleBenchPoint{Papers: n}
+		ds := dataset.Generate(dataset.AminerSim(n))
+		queries := ds.Queries(sc.Queries, rand.New(rand.NewSource(sc.Seed)))
+
+		t0 := time.Now()
+		eng, err := core.Build(ds.Graph, core.Options{
+			Dim: sc.Dim, Seed: sc.Seed,
+			UseKPCore: core.Bool(false), UsePGIndex: core.Bool(false),
+			Metrics: obs.NewRegistry(),
+		})
+		if err != nil {
+			panic(err)
+		}
+		pt.BuildMs = ms(time.Since(t0))
+		pt.MatrixBytes = int64(len(eng.Embeddings)) * int64(sc.Dim) * 4
+
+		snap := filepath.Join(dir, fmt.Sprintf("scale-%d.snap", n))
+		t1 := time.Now()
+		f, err := os.Create(snap)
+		if err != nil {
+			panic(err)
+		}
+		if err := eng.Save(f); err != nil {
+			panic(err)
+		}
+		if err := f.Close(); err != nil {
+			panic(err)
+		}
+		pt.SnapshotWriteMs = ms(time.Since(t1))
+		fi, err := os.Stat(snap)
+		if err != nil {
+			panic(err)
+		}
+		pt.SnapshotBytes = fi.Size()
+		eng = nil // the built engine must not pollute the load baselines
+
+		// mmap first, heap second: the order guarantees the heap pass
+		// cannot have faulted anything in for the mapped pass.
+		pt.Mmap = runScaleMode(snap, ds, queries, sc, colstore.ModeAuto, "mmap")
+		pt.Heap = runScaleMode(snap, ds, queries, sc, colstore.ModeOff, "heap")
+
+		os.Remove(snap)
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep
+}
+
+// runScaleMode loads the snapshot one way and measures it.
+func runScaleMode(snap string, ds *dataset.Dataset, queries []dataset.Query,
+	sc Scale, mode colstore.Mode, label string) ScaleModeStats {
+	st := ScaleModeStats{Mode: label}
+	debug.FreeOSMemory()
+	base, _ := obs.ReadProcStat()
+
+	t0 := time.Now()
+	e, err := core.LoadFileWith(snap, ds.Graph, core.LoadOptions{Mmap: mode})
+	if err != nil {
+		panic(err)
+	}
+	st.LoadMs = ms(time.Since(t0))
+	st.Mapped = e.SnapshotMapped()
+
+	debug.FreeOSMemory() // drop decode transients before the RSS sample
+	if s, ok := obs.ReadProcStat(); ok {
+		st.RSSAfterLoadBytes = s.RSSBytes - base.RSSBytes
+	}
+
+	var cold, warm []time.Duration
+	run := func(sink *[]time.Duration) {
+		for _, q := range queries {
+			t := time.Now()
+			if _, _, err := e.TopExperts(q.Text, sc.M, sc.N); err != nil {
+				panic(err)
+			}
+			*sink = append(*sink, time.Since(t))
+		}
+	}
+	run(&cold)
+	run(&warm)
+	run(&warm)
+	st.ColdP50Ms = durPercentile(cold, 0.50)
+	st.ColdP99Ms = durPercentile(cold, 0.99)
+	st.WarmP50Ms = durPercentile(warm, 0.50)
+	st.WarmP99Ms = durPercentile(warm, 0.99)
+
+	debug.FreeOSMemory()
+	if s, ok := obs.ReadProcStat(); ok {
+		st.RSSAfterQueriesBytes = s.RSSBytes - base.RSSBytes
+		st.MajorFaults = s.MajorPageFaults - base.MajorPageFaults
+	}
+	if err := e.CloseSnapshot(); err != nil {
+		panic(err)
+	}
+	debug.FreeOSMemory()
+	return st
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// FormatScaleBench renders the report as a human-readable table.
+func FormatScaleBench(r ScaleBenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scale benchmark — %s, dim %d, %d queries (exact scan, no index)\n",
+		r.Dataset, r.Dim, r.Queries)
+	if !r.ProcStat {
+		b.WriteString("  (no /proc on this platform: RSS and fault columns are zero)\n")
+	}
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "\npapers %-9d build %.0fs  snapshot %s (matrix %s, write %.0f ms)\n",
+			p.Papers, p.BuildMs/1000, fmtBytes(p.SnapshotBytes), fmtBytes(p.MatrixBytes),
+			p.SnapshotWriteMs)
+		for _, m := range []ScaleModeStats{p.Mmap, p.Heap} {
+			fmt.Fprintf(&b, "  %-5s (mapped=%-5v) load %8.1f ms  rss +%s load / +%s queried  majflt %d\n",
+				m.Mode, m.Mapped, m.LoadMs,
+				fmtBytes(m.RSSAfterLoadBytes), fmtBytes(m.RSSAfterQueriesBytes), m.MajorFaults)
+			fmt.Fprintf(&b, "        cold %8.2f ms p50 / %8.2f ms p99   warm %8.2f ms p50 / %8.2f ms p99\n",
+				m.ColdP50Ms, m.ColdP99Ms, m.WarmP50Ms, m.WarmP99Ms)
+		}
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// WriteJSON writes the report as indented JSON (the BENCH_scale.json
+// format).
+func (r ScaleBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

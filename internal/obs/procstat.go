@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProcStat is one sample of the process's memory residency, read from
+// the /proc filesystem. It is the ground truth the scale benchmarks and
+// the mmap'd snapshot store are judged against: heap profilers cannot
+// see page-cache residency, RSS can.
+type ProcStat struct {
+	// RSSBytes is the resident set size (VmRSS) — physical memory the
+	// process currently occupies, including faulted-in mmap'd pages.
+	RSSBytes int64
+	// VMBytes is the virtual address-space size (VmSize), which counts
+	// mapped-but-not-resident snapshot bytes too.
+	VMBytes int64
+	// MinorPageFaults and MajorPageFaults are the process's cumulative
+	// fault counts (minflt/majflt); major faults hit the disk, which is
+	// what a cold query against an mmap'd snapshot costs.
+	MinorPageFaults uint64
+	MajorPageFaults uint64
+}
+
+// ReadProcStat samples the current process. ok is false on platforms
+// without /proc (or with an unreadable one) — callers treat that as
+// "no data", never an error, so the same code runs everywhere.
+func ReadProcStat() (st ProcStat, ok bool) {
+	status, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return ProcStat{}, false
+	}
+	for _, line := range strings.Split(string(status), "\n") {
+		switch {
+		case strings.HasPrefix(line, "VmRSS:"):
+			st.RSSBytes = parseKBLine(line)
+		case strings.HasPrefix(line, "VmSize:"):
+			st.VMBytes = parseKBLine(line)
+		}
+	}
+	if st.RSSBytes == 0 {
+		return ProcStat{}, false
+	}
+	if stat, err := os.ReadFile("/proc/self/stat"); err == nil {
+		st.MinorPageFaults, st.MajorPageFaults = parseFaults(stat)
+	}
+	return st, true
+}
+
+// parseKBLine parses "VmRSS:   123456 kB" into bytes.
+func parseKBLine(line string) int64 {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return 0
+	}
+	kb, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return kb * 1024
+}
+
+// parseFaults extracts minflt (field 10) and majflt (field 12) from
+// /proc/self/stat. The comm field (2) may itself contain spaces and
+// parentheses, so counting starts after the last ')'.
+func parseFaults(stat []byte) (minor, major uint64) {
+	i := bytes.LastIndexByte(stat, ')')
+	if i < 0 {
+		return 0, 0
+	}
+	fields := strings.Fields(string(stat[i+1:]))
+	// fields[0] is field 3 (state); minflt is field 10, majflt field 12.
+	if len(fields) < 10 {
+		return 0, 0
+	}
+	minor, _ = strconv.ParseUint(fields[7], 10, 64)
+	major, _ = strconv.ParseUint(fields[9], 10, 64)
+	return minor, major
+}
+
+// PublishProcStat samples the process once and publishes the result as
+// gauges on reg. Returns false (and publishes nothing) where /proc is
+// unavailable. The fault counts are cumulative kernel counters but are
+// published as sampled gauges — scrape-to-scrape deltas give rates.
+func PublishProcStat(reg *Registry) bool {
+	st, ok := ReadProcStat()
+	if !ok {
+		return false
+	}
+	reg.Gauge("expertfind_process_rss_bytes",
+		"Resident set size of this process (VmRSS), sampled from /proc.").
+		Set(float64(st.RSSBytes))
+	reg.Gauge("expertfind_process_vm_bytes",
+		"Virtual memory size of this process (VmSize), sampled from /proc.").
+		Set(float64(st.VMBytes))
+	reg.Gauge("expertfind_process_minor_page_faults",
+		"Cumulative minor page faults of this process, sampled from /proc.").
+		Set(float64(st.MinorPageFaults))
+	reg.Gauge("expertfind_process_major_page_faults",
+		"Cumulative major page faults of this process, sampled from /proc.").
+		Set(float64(st.MajorPageFaults))
+	return true
+}
+
+// StartProcSampler publishes process residency gauges every interval
+// until the returned stop function is called. On platforms without
+// /proc the loop exits immediately and stop is a no-op — callers wire
+// it unconditionally.
+func StartProcSampler(reg *Registry, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	if !PublishProcStat(reg) {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				PublishProcStat(reg)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadProcStat(t *testing.T) {
+	st, ok := ReadProcStat()
+	if !ok {
+		t.Skip("no /proc on this platform")
+	}
+	if st.RSSBytes <= 0 {
+		t.Fatalf("RSS %d, want > 0", st.RSSBytes)
+	}
+	if st.VMBytes < st.RSSBytes {
+		t.Fatalf("VmSize %d below VmRSS %d", st.VMBytes, st.RSSBytes)
+	}
+	// Fault counters may legitimately read zero under sandboxed kernels
+	// (gVisor and friends zero them), so only sanity-order them.
+	if st.MajorPageFaults > 0 && st.MinorPageFaults == 0 {
+		t.Fatalf("majflt %d with minflt 0 — field order wrong?", st.MajorPageFaults)
+	}
+}
+
+func TestPublishProcStatGauges(t *testing.T) {
+	reg := NewRegistry()
+	if !PublishProcStat(reg) {
+		t.Skip("no /proc on this platform")
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"expertfind_process_rss_bytes",
+		"expertfind_process_vm_bytes",
+		"expertfind_process_minor_page_faults",
+		"expertfind_process_major_page_faults",
+	} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}
+
+func TestParseFaultsHostileComm(t *testing.T) {
+	// comm may contain spaces and parentheses; fields count from the
+	// LAST ')'. minflt is the 7th field after it, majflt the 9th.
+	stat := []byte("1234 (a (we) ird) S 1 2 3 4 5 6 777 8 999 10 11 12 13 14")
+	minor, major := parseFaults(stat)
+	if minor != 777 || major != 999 {
+		t.Fatalf("got minflt=%d majflt=%d, want 777/999", minor, major)
+	}
+	if minor, major := parseFaults([]byte("garbage")); minor != 0 || major != 0 {
+		t.Fatalf("garbage parsed to %d/%d", minor, major)
+	}
+}
+
+func TestStartProcSamplerStops(t *testing.T) {
+	reg := NewRegistry()
+	stop := StartProcSampler(reg, 0)
+	stop()
+	stop() // idempotent
+}

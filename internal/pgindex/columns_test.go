@@ -1,0 +1,149 @@
+package pgindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"expertfind/internal/hetgraph"
+	"expertfind/internal/vec"
+)
+
+func buildTestIndex(t *testing.T, n, dim int, exactOnly bool) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	embs := make(map[hetgraph.NodeID]vec.Vec32, n)
+	for i := 0; i < n; i++ {
+		v := make(vec.Vec32, dim)
+		for j := range v {
+			v[j] = float32(rng.NormFloat64())
+		}
+		embs[hetgraph.NodeID(i*3+1)] = v
+	}
+	return Build(embs, Config{K: 4, Refine: true, Seed: 5, ExactOnly: exactOnly})
+}
+
+// TestColumnsRoundTrip proves Columns → FromColumns reproduces the index
+// exactly: identical search results (distances compared as raw bits),
+// identical adjacency, identical quantized shadow.
+func TestColumnsRoundTrip(t *testing.T) {
+	for _, exact := range []bool{false, true} {
+		idx := buildTestIndex(t, 120, 8, exact)
+		if err := idx.Remove(idx.ids[7]); err != nil {
+			t.Fatal(err)
+		}
+
+		got, err := FromColumns(idx.Columns())
+		if err != nil {
+			t.Fatalf("exact=%v: FromColumns: %v", exact, err)
+		}
+
+		if got.Len() != idx.Len() || got.nav != idx.nav || got.exactOnly != idx.exactOnly {
+			t.Fatalf("exact=%v: header mismatch: %v vs %v", exact, got, idx)
+		}
+		for i := range idx.nbrs {
+			if len(got.nbrs[i]) != len(idx.nbrs[i]) {
+				t.Fatalf("exact=%v: node %d degree %d vs %d", exact, i, len(got.nbrs[i]), len(idx.nbrs[i]))
+			}
+			for j := range idx.nbrs[i] {
+				if got.nbrs[i][j] != idx.nbrs[i][j] {
+					t.Fatalf("exact=%v: node %d nbr %d mismatch", exact, i, j)
+				}
+			}
+		}
+		if (idx.quant == nil) != (got.quant == nil) {
+			t.Fatalf("exact=%v: quant presence mismatch", exact)
+		}
+		if idx.quant != nil {
+			for i := range idx.quant.Codes {
+				if got.quant.Codes[i] != idx.quant.Codes[i] {
+					t.Fatalf("exact=%v: quant code %d mismatch", exact, i)
+				}
+			}
+		}
+
+		query := make(vec.Vec32, 8)
+		for j := range query {
+			query[j] = float32(j) * 0.25
+		}
+		want, _ := idx.Search(query, 10, 32)
+		have, _ := got.Search(query, 10, 32)
+		if len(want) != len(have) {
+			t.Fatalf("exact=%v: result count %d vs %d", exact, len(have), len(want))
+		}
+		for i := range want {
+			if want[i].ID != have[i].ID ||
+				math.Float64bits(want[i].Dist) != math.Float64bits(have[i].Dist) {
+				t.Fatalf("exact=%v: result %d: %+v vs %+v", exact, i, have[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFromColumnsCSRViewsFullCap pins the mmap safety property at this
+// layer: adjacency views must be capped at their length, so the reverse
+// edge Insert appends lands in a fresh heap allocation, never in the
+// (possibly read-only, possibly neighbouring-list) backing block.
+func TestFromColumnsCSRViewsFullCap(t *testing.T) {
+	idx := buildTestIndex(t, 60, 4, false)
+	got, err := FromColumns(idx.Columns())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nb := range got.nbrs {
+		if cap(nb) != len(nb) {
+			t.Fatalf("node %d adjacency view cap %d != len %d", i, cap(nb), len(nb))
+		}
+	}
+	// Exercise the real hazard: Insert appends reverse edges to existing
+	// lists. After the insert the original columns must be untouched.
+	cols := got.Columns()
+	before := append([]int32(nil), cols.NbrDat...)
+	v := make(vec.Vec32, 4)
+	for j := range v {
+		v[j] = 0.5
+	}
+	reloaded, err := FromColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded.Insert(hetgraph.NodeID(9999), v)
+	for i := range before {
+		if cols.NbrDat[i] != before[i] {
+			t.Fatalf("Insert scribbled on shared CSR data at %d", i)
+		}
+	}
+}
+
+func TestFromColumnsRejectsCorruptShapes(t *testing.T) {
+	idx := buildTestIndex(t, 40, 4, false)
+	base := idx.Columns()
+
+	mutate := func(f func(c *Columns)) Columns {
+		c := base
+		c.NbrOff = append([]uint64(nil), base.NbrOff...)
+		c.NbrDat = append([]int32(nil), base.NbrDat...)
+		c.Entries = append([]int32(nil), base.Entries...)
+		f(&c)
+		return c
+	}
+	cases := map[string]Columns{
+		"truncated offsets":  mutate(func(c *Columns) { c.NbrOff = c.NbrOff[:len(c.NbrOff)-1] }),
+		"decreasing offsets": mutate(func(c *Columns) { c.NbrOff[1] = c.NbrOff[2] + 5; c.NbrOff[2] = 0 }),
+		"dangling edge":      mutate(func(c *Columns) { c.NbrDat[0] = int32(len(c.IDs)) }),
+		"negative edge":      mutate(func(c *Columns) { c.NbrDat[0] = -1 }),
+		"bad nav":            mutate(func(c *Columns) { c.Nav = int32(len(c.IDs)) }),
+		"bad entry":          mutate(func(c *Columns) { c.Entries[0] = -2 }),
+		"short matrix":       mutate(func(c *Columns) { c.Embs = c.Embs[:len(c.Embs)-1] }),
+		"bad dead count":     mutate(func(c *Columns) { c.Dead = make([]byte, len(c.IDs)); c.Dead[0] = 1 }),
+		"short quant":        mutate(func(c *Columns) { c.QScales = c.QScales[:1] }),
+	}
+	for name, c := range cases {
+		if _, err := FromColumns(c); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := FromColumns(base); err != nil {
+		t.Errorf("valid columns rejected: %v", err)
+	}
+}

@@ -1,6 +1,16 @@
 package vec
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
+
+// elemsOverflow reports whether rows*cols overflows int for
+// non-negative inputs — such a product would wrap before make and
+// allocate a matrix far smaller than its declared shape.
+func elemsOverflow(rows, cols int) bool {
+	return cols != 0 && rows > math.MaxInt/cols
+}
 
 // ShapeError reports an invalid or mismatched matrix/vector shape: a
 // negative dimension in a constructor, or mismatched lengths in a kernel.

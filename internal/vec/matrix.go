@@ -30,10 +30,13 @@ func NewMatrix(rows, cols int) *Matrix {
 }
 
 // NewMatrixErr is NewMatrix returning a typed error instead of
-// panicking: a *ShapeError when rows or cols is negative. Zero-sized
-// shapes (0xN, Nx0) are valid and yield an empty Data slice.
+// panicking: a *ShapeError when rows or cols is negative or when
+// rows*cols overflows int (a wrapped product would silently allocate
+// the wrong size for a huge declared shape, e.g. from a forged
+// snapshot). Zero-sized shapes (0xN, Nx0) are valid and yield an empty
+// Data slice.
 func NewMatrixErr(rows, cols int) (*Matrix, error) {
-	if rows < 0 || cols < 0 {
+	if rows < 0 || cols < 0 || elemsOverflow(rows, cols) {
 		return nil, &ShapeError{Op: "NewMatrix", Rows: rows, Cols: cols}
 	}
 	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}, nil

@@ -26,9 +26,11 @@ func NewMatrix32(rows, cols int) *Matrix32 {
 }
 
 // NewMatrix32Err is NewMatrix32 returning a typed error instead of
-// panicking. Zero-sized shapes (0xN, Nx0) are valid.
+// panicking: a *ShapeError on a negative dimension or when rows*cols
+// overflows int (huge declared shapes would otherwise wrap before make
+// and allocate the wrong size). Zero-sized shapes (0xN, Nx0) are valid.
 func NewMatrix32Err(rows, cols int) (*Matrix32, error) {
-	if rows < 0 || cols < 0 {
+	if rows < 0 || cols < 0 || elemsOverflow(rows, cols) {
 		return nil, &ShapeError{Op: "NewMatrix32", Rows: rows, Cols: cols}
 	}
 	return &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}, nil
@@ -105,9 +107,10 @@ func (m *Matrix32) Float64() []float64 {
 
 // Matrix32FromFloat64 builds a Matrix32 from row-major float64 data,
 // rounding each component once. It returns a *ShapeError when the data
-// length does not match rows*cols.
+// length does not match rows*cols (including shapes whose product
+// overflows int and would wrap onto len(data)).
 func Matrix32FromFloat64(rows, cols int, data []float64) (*Matrix32, error) {
-	if rows < 0 || cols < 0 || len(data) != rows*cols {
+	if rows < 0 || cols < 0 || elemsOverflow(rows, cols) || len(data) != rows*cols {
 		return nil, &ShapeError{Op: "Matrix32FromFloat64", Rows: rows, Cols: cols}
 	}
 	m := &Matrix32{Rows: rows, Cols: cols, Data: make([]float32, len(data))}

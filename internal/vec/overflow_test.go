@@ -1,0 +1,65 @@
+package vec
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestConstructorOverflowGuard pins the rows*cols overflow fix: shapes
+// whose element count wraps int must come back as a *ShapeError, never
+// reach make with a wrapped (possibly tiny or negative) size.
+func TestConstructorOverflowGuard(t *testing.T) {
+	half := math.MaxInt/2 + 1 // 2*half wraps negative
+	bad := [][2]int{
+		{math.MaxInt, 2},
+		{2, math.MaxInt},
+		{half, 2},
+		{2, half},
+		{math.MaxInt, math.MaxInt},
+		{1 << 32, 1 << 32}, // wraps to exactly 0 on 64-bit int
+		{-1, 3},
+		{3, -1},
+	}
+	for _, s := range bad {
+		rows, cols := s[0], s[1]
+		var se *ShapeError
+		if _, err := NewMatrixErr(rows, cols); !errors.As(err, &se) {
+			t.Errorf("NewMatrixErr(%d, %d): got %v, want *ShapeError", rows, cols, err)
+		}
+		if _, err := NewMatrix32Err(rows, cols); !errors.As(err, &se) {
+			t.Errorf("NewMatrix32Err(%d, %d): got %v, want *ShapeError", rows, cols, err)
+		}
+		if _, err := Matrix32FromFloat64(rows, cols, nil); !errors.As(err, &se) {
+			t.Errorf("Matrix32FromFloat64(%d, %d): got %v, want *ShapeError", rows, cols, err)
+		}
+	}
+}
+
+// TestConstructorBoundaryShapes confirms the guard does not over-reject:
+// zero-sized and ordinary shapes still construct.
+func TestConstructorBoundaryShapes(t *testing.T) {
+	ok := [][2]int{{0, 0}, {0, 5}, {5, 0}, {1, 1}, {3, 4}, {1, math.MaxInt}, {math.MaxInt, 0}}
+	for _, s := range ok {
+		rows, cols := s[0], s[1]
+		if rows*cols > 1<<20 { // shapes that are valid but too big to allocate
+			continue
+		}
+		if m, err := NewMatrixErr(rows, cols); err != nil || m.Rows != rows || m.Cols != cols || len(m.Data) != rows*cols {
+			t.Errorf("NewMatrixErr(%d, %d): %v", rows, cols, err)
+		}
+		if m, err := NewMatrix32Err(rows, cols); err != nil || len(m.Data) != rows*cols {
+			t.Errorf("NewMatrix32Err(%d, %d): %v", rows, cols, err)
+		}
+	}
+	// 1 x MaxInt passes the overflow guard (no wrap) — it must fail only
+	// at allocation, which we do not attempt here. Matrix32FromFloat64
+	// with a mismatched data length must still reject cleanly.
+	var se *ShapeError
+	if _, err := Matrix32FromFloat64(2, 3, make([]float64, 5)); !errors.As(err, &se) {
+		t.Errorf("Matrix32FromFloat64 length mismatch: got %v, want *ShapeError", err)
+	}
+	if m, err := Matrix32FromFloat64(2, 2, []float64{1, 2, 3, 4}); err != nil || m.At(1, 1) != 4 {
+		t.Errorf("Matrix32FromFloat64 valid: %v", err)
+	}
+}
